@@ -1,0 +1,70 @@
+"""Deployment shapes and backend builders shared by the benchmarks.
+
+The paper's instance-type studies hold total cores at 16 while varying
+the type; these are the exact axis labels from Figures 3/4, 7/8 and
+12/13: ``L - 8 x 2``, ``XL - 4 x 4``, ``HCXL - 2 x 8``, ``HM4XL - 2 x 8``.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.failures import FaultPlan
+from repro.core.backends import Backend, make_backend
+
+# (instance type, n_instances, workers_per_instance) at 16 cores total.
+EC2_16_CORE_SHAPES: list[tuple[str, int, int]] = [
+    ("L", 8, 2),
+    ("XL", 4, 4),
+    ("HCXL", 2, 8),
+    ("HM4XL", 2, 8),
+]
+
+
+def quiet_ec2(
+    instance_type: str = "HCXL",
+    n_instances: int = 2,
+    workers_per_instance: int = 8,
+    **kwargs,
+) -> Backend:
+    """A deterministic, fault-free EC2 backend."""
+    defaults = dict(
+        fault_plan=FaultPlan.none(),
+        consistency_window_s=0.0,
+        seed=17,
+    )
+    defaults.update(kwargs)
+    return make_backend(
+        "ec2",
+        instance_type=instance_type,
+        n_instances=n_instances,
+        workers_per_instance=workers_per_instance,
+        **defaults,
+    )
+
+
+def quiet_azure(
+    instance_type: str = "Small",
+    n_instances: int = 16,
+    workers_per_instance: int = 1,
+    **kwargs,
+) -> Backend:
+    """A deterministic, fault-free Azure backend."""
+    defaults = dict(
+        fault_plan=FaultPlan.none(),
+        consistency_window_s=0.0,
+        seed=17,
+    )
+    defaults.update(kwargs)
+    return make_backend(
+        "azure",
+        instance_type=instance_type,
+        n_instances=n_instances,
+        workers_per_instance=workers_per_instance,
+        **defaults,
+    )
+
+
+def ec2_16core_backends(**kwargs) -> list[Backend]:
+    """The four Figure 3/4-style deployments."""
+    return [
+        quiet_ec2(itype, n, w, **kwargs) for itype, n, w in EC2_16_CORE_SHAPES
+    ]

@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the simulation once under pytest-benchmark timing, prints the rows (run
+with ``-s`` to see them live), writes them to ``benchmarks/results/``,
+and asserts the paper's qualitative shape (who wins, by what rough
+factor, where crossovers fall).
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print a table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under benchmark timing and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Ablation: task granularity vs cloud service overhead.
+
+The paper's conclusion: "Given sufficiently coarser grain task
+decompositions, Cloud infrastructure service-based frameworks ... offered
+good parallel efficiencies" — and it deliberately bundles 100 BLAST
+queries per file "to make the tasks coarser granular".
+
+This bench splits the same total query workload into more, finer tasks
+and measures how the per-task queue/storage overhead erodes parallel
+efficiency on the EC2 Classic Cloud.
+"""
+
+from repro.core.application import get_application
+from repro.core.metrics import parallel_efficiency
+from repro.core.report import format_table
+from repro.workloads.protein import blast_task_specs
+
+from benchmarks._shapes import quiet_ec2
+from benchmarks.conftest import run_once
+
+TOTAL_QUERIES = 6400
+QUERIES_PER_FILE = [400, 100, 25, 5, 1]
+
+
+def test_ablation_task_granularity(benchmark, emit):
+    app = get_application("blast")
+
+    def sweep():
+        out = []
+        for per_file in QUERIES_PER_FILE:
+            n_files = TOTAL_QUERIES // per_file
+            tasks = blast_task_specs(
+                n_files,
+                queries_per_file=per_file,
+                inhomogeneous_base=False,
+                seed=41,
+            )
+            backend = quiet_ec2(n_instances=2)
+            result = backend.run(app, tasks)
+            t1 = backend.estimate_sequential_time(app, tasks)
+            efficiency = parallel_efficiency(
+                t1, result.makespan_seconds, backend.total_cores
+            )
+            overhead = sum(
+                r.download_time + r.upload_time for r in result.records
+            )
+            compute = result.total_compute_seconds()
+            out.append(
+                (per_file, n_files, result.makespan_seconds, efficiency,
+                 overhead / (overhead + compute))
+            )
+        return out
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_granularity",
+        format_table(
+            ["queries/file", "tasks", "makespan (s)", "efficiency",
+             "service overhead"],
+            [
+                [q, n, f"{m:,.0f}", f"{eff:.3f}", f"{100 * ov:.1f}%"]
+                for q, n, m, eff, ov in rows
+            ],
+            title="Ablation: task granularity vs queue/storage overhead "
+                  f"({TOTAL_QUERIES} BLAST queries total, 16 cores)",
+        ),
+    )
+
+    effs = {q: eff for q, _, _, eff, _ in rows}
+    overheads = {q: ov for q, _, _, _, ov in rows}
+    # Coarse tasks: good efficiency (ceiling set by HCXL's memory
+    # pressure, as in Figure 10), negligible service overhead.
+    assert effs[400] > 0.78
+    assert overheads[400] < 0.02
+    # Fine tasks: per-task service overhead grows by an order of
+    # magnitude and efficiency gives back its gains.
+    assert effs[1] <= effs[400] + 0.01
+    assert overheads[1] > overheads[400] * 5
+    assert overheads[1] > 0.01

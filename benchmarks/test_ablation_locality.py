@@ -1,0 +1,89 @@
+"""Ablation: data-locality-aware scheduling as input size grows.
+
+The paper (Section 6.2): "When the input data size is larger, Hadoop
+and DryadLINQ applications have an advantage of data locality-based
+scheduling over EC2.  The Hadoop and DryadLINQ models bring computation
+to the data optimizing the I/O load."
+
+This bench turns Hadoop's locality preference on and off while scaling
+the per-task input size (Cap3's ~KB files up to GTM's ~66 MB compressed
+splits), measuring the growing cost of remote reads over a 1 Gbps
+network.
+"""
+
+from dataclasses import replace
+
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.report import format_table
+from repro.workloads.pubchem import gtm_task_specs
+
+from benchmarks.conftest import run_once
+
+INPUT_MB = [1, 66, 512, 2048]
+# Four waves over the 64 slots: the makespan reflects the average read
+# cost instead of a single unlucky straggler.
+N_FILES = 256
+
+
+def tasks_with_input_size(megabytes):
+    tasks = gtm_task_specs(n_files=N_FILES)
+    return [replace(t, input_size=megabytes * 1_000_000) for t in tasks]
+
+
+def test_ablation_data_locality(benchmark, emit):
+    app = get_application("gtm")
+    cluster = get_cluster("gtm-hadoop").subset(8)
+
+    def sweep():
+        out = []
+        for megabytes in INPUT_MB:
+            tasks = tasks_with_input_size(megabytes)
+            results = {}
+            for locality in (True, False):
+                backend = make_backend(
+                    "hadoop",
+                    cluster=cluster,
+                    locality_aware=locality,
+                    seed=37,
+                )
+                run = backend.run(app, tasks)
+                results[locality] = run
+            out.append(
+                (
+                    megabytes,
+                    results[True].makespan_seconds,
+                    results[False].makespan_seconds,
+                    results[True].extras["locality_fraction"],
+                    results[False].extras["locality_fraction"],
+                )
+            )
+        return out
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_locality",
+        format_table(
+            ["input/task", "locality on (s)", "locality off (s)",
+             "local reads on", "local reads off", "penalty"],
+            [
+                [f"{mb} MB", f"{on:,.0f}", f"{off:,.0f}",
+                 f"{100 * lf_on:.0f}%", f"{100 * lf_off:.0f}%",
+                 f"{off / on:.2f}x"]
+                for mb, on, off, lf_on, lf_off in rows
+            ],
+            title="Ablation: Hadoop data-locality scheduling vs input size "
+                  f"({N_FILES} GTM splits, 8 nodes, 1 Gbps)",
+        ),
+    )
+
+    # Locality-aware scheduling achieves mostly-local reads.
+    for _, _, _, lf_on, lf_off in rows:
+        assert lf_on > 0.9
+        assert lf_off < lf_on
+    penalties = [off / on for _, on, off, _, _ in rows]
+    # Tiny inputs: locality hardly matters.  Large inputs: it does.
+    assert penalties[0] < 1.05
+    assert penalties[-1] > 1.15
+    assert penalties[-1] > penalties[0]

@@ -1,0 +1,75 @@
+"""Ablation: speculative execution under straggler injection.
+
+Hadoop (and Dryad) "perform duplicate execution of slower executing
+tasks"; the paper lists this among their fault-tolerance features.  This
+bench injects stragglers at increasing rates and measures how much of
+the straggler damage speculative execution claws back — plus its cost in
+duplicate compute.
+"""
+
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.report import format_table
+from repro.workloads.genome import cap3_task_specs
+
+from benchmarks.conftest import run_once
+
+STRAGGLER_RATES = [0.0, 0.05, 0.1, 0.2]
+
+
+def test_ablation_speculative_execution(benchmark, emit):
+    app = get_application("cap3")
+    tasks = cap3_task_specs(96, reads_per_file=300)
+    cluster = get_cluster("cap3-baremetal").subset(4)
+
+    def sweep():
+        out = []
+        for rate in STRAGGLER_RATES:
+            runs = {}
+            for speculative in (True, False):
+                backend = make_backend(
+                    "hadoop",
+                    cluster=cluster,
+                    speculative_execution=speculative,
+                    straggler_probability=rate,
+                    straggler_slowdown=8.0,
+                    seed=31,
+                )
+                result = backend.run(app, tasks)
+                runs[speculative] = result
+            out.append(
+                (
+                    rate,
+                    runs[False].makespan_seconds,
+                    runs[True].makespan_seconds,
+                    runs[True].extras["speculative_attempts"],
+                )
+            )
+        return out
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_speculation",
+        format_table(
+            ["straggler rate", "no speculation (s)", "speculation (s)",
+             "backup attempts", "saved"],
+            [
+                [f"{r * 100:.0f}%", f"{off:,.0f}", f"{on:,.0f}", f"{n:.0f}",
+                 f"{100 * (off - on) / off:+.0f}%"]
+                for r, off, on, n in rows
+            ],
+            title="Ablation: speculative execution vs 8x stragglers "
+                  "(96 Cap3 files, 32 slots)",
+        ),
+    )
+
+    by_rate = {r: (off, on, n) for r, off, on, n in rows}
+    # No stragglers: speculation costs (almost) nothing.
+    off0, on0, _ = by_rate[0.0]
+    assert on0 <= off0 * 1.05
+    # With stragglers: speculation wins meaningfully.
+    for rate in (0.1, 0.2):
+        off, on, n_backups = by_rate[rate]
+        assert on < off * 0.75, f"speculation didn't help at {rate}"
+        assert n_backups > 0

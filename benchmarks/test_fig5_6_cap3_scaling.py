@@ -1,0 +1,94 @@
+"""Figures 5 and 6: Cap3 parallel efficiency and per-file time, four ways.
+
+Paper setup: replicated 458-read FASTA files; 16 HCXL instances on EC2,
+128 Small instances on Azure, and a 32-node x 8-core 2.5 GHz bare-metal
+cluster for Hadoop and DryadLINQ.  Weak scaling: the workload grows with
+the fleet.
+
+Paper findings to reproduce:
+* all four implementations sit within ~20% parallel efficiency of each
+  other, with low parallelization overheads (Figure 5);
+* per-file-per-core times are flat-ish in scale (Figure 6);
+* Cap3 runs ~12.5% faster on Windows, visible in DryadLINQ's (and
+  Azure's) per-file times.
+"""
+
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.experiment import scalability_study
+from repro.core.backends import make_backend
+from repro.core.report import format_series
+from repro.workloads.genome import cap3_task_specs
+
+from benchmarks._shapes import quiet_azure, quiet_ec2
+from benchmarks.conftest import run_once
+
+CORE_COUNTS = [32, 64, 128]
+
+
+def tasks_for(cores):
+    # Weak scaling: 4 replicated files per core, as the paper replicates
+    # its data set with fleet size.
+    return cap3_task_specs(n_files=cores * 4, reads_per_file=458)
+
+
+def backend_factories():
+    return {
+        "EC2": lambda cores: quiet_ec2(n_instances=cores // 8),
+        "Azure": lambda cores: quiet_azure(n_instances=cores),
+        "Hadoop": lambda cores: make_backend(
+            "hadoop", cluster=get_cluster("cap3-baremetal").subset(cores // 8)
+        ),
+        "DryadLINQ": lambda cores: make_backend(
+            "dryadlinq",
+            cluster=get_cluster("cap3-baremetal-windows").subset(cores // 8),
+        ),
+    }
+
+
+def test_fig5_6_cap3_scaling(benchmark, emit):
+    app = get_application("cap3")
+
+    def study():
+        out = {}
+        for name, factory in backend_factories().items():
+            out[name] = scalability_study(app, factory, CORE_COUNTS, tasks_for)
+        return out
+
+    results = run_once(benchmark, study)
+
+    efficiency_series = {
+        name: {p.cores: p.efficiency for p in points}
+        for name, points in results.items()
+    }
+    per_file_series = {
+        name: {p.cores: p.per_file_per_core_s for p in points}
+        for name, points in results.items()
+    }
+    emit(
+        "fig5_cap3_parallel_efficiency",
+        format_series("cores", efficiency_series,
+                      title="Figure 5: Cap3 parallel efficiency"),
+    )
+    emit(
+        "fig6_cap3_time_per_file_per_core",
+        format_series("cores", per_file_series, value_format="{:.1f}",
+                      title="Figure 6: Cap3 per-file per-core time (s)"),
+    )
+
+    # Figure 5: comparable efficiency (within 20%) and low overheads.
+    for cores in CORE_COUNTS:
+        effs = [efficiency_series[n][cores] for n in efficiency_series]
+        assert min(effs) > 0.75, f"low efficiency at {cores} cores: {effs}"
+        assert max(effs) / min(effs) < 1.25  # 'within 20%'
+
+    # Figure 6: per-file time roughly flat across scale for each platform.
+    for name, series in per_file_series.items():
+        values = list(series.values())
+        assert max(values) / min(values) < 1.3, f"{name} not flat: {values}"
+
+    # Windows runs Cap3 ~12.5% faster: DryadLINQ's per-file time beats
+    # Hadoop's on identical hardware.
+    assert (
+        per_file_series["DryadLINQ"][128] < per_file_series["Hadoop"][128]
+    )

@@ -1,0 +1,62 @@
+"""Figures 7 and 8: BLAST cost and time across EC2 instance types.
+
+Paper setup: 64 query files of 100 sequences each against the 8.7 GB NR
+database, on 16 compute cores per deployment.
+
+Paper findings to reproduce:
+* no dramatic memory effect — HCXL (<1 GB/core) performs comparably to
+  L and XL (3.75 GB/core), because the database is page-cache shared;
+* a *slight* memory correlation: XL (2.0 GHz, plenty of memory) keeps up
+  with HCXL (2.5 GHz, tight memory);
+* HM4XL (3.25 GHz) fastest, but at a much higher cost;
+* HCXL again the most cost-effective.
+"""
+
+from repro.core.application import get_application
+from repro.core.experiment import instance_type_study
+from repro.core.report import format_table
+from repro.workloads.protein import blast_task_specs
+
+from benchmarks._shapes import ec2_16core_backends
+from benchmarks.conftest import run_once
+
+
+def test_fig7_8_blast_ec2_instance_types(benchmark, emit):
+    app = get_application("blast")
+    tasks = blast_task_specs(64, inhomogeneous_base=False, seed=3)
+
+    def study():
+        return instance_type_study(app, ec2_16core_backends(), tasks)
+
+    rows = run_once(benchmark, study)
+    emit(
+        "fig7_8_blast_instance_types",
+        format_table(
+            ["deployment", "compute time (s)", "cost $ (hour units)",
+             "amortized $"],
+            [
+                [r.label, f"{r.compute_time_s:,.0f}", f"{r.compute_cost:.2f}",
+                 f"{r.amortized_cost:.2f}"]
+                for r in rows
+            ],
+            title="Figures 7+8: BLAST on EC2 instance types "
+                  "(64 query files x 100 seqs, 16 cores)",
+        ),
+    )
+
+    by_type = {r.label.split(" ")[0]: r for r in rows}
+    times = {k: r.compute_time_s for k, r in by_type.items()}
+    costs = {k: r.compute_cost for k, r in by_type.items()}
+
+    # Figure 8: HM4XL fastest.
+    assert times["HM4XL"] == min(times.values())
+    # HCXL comparable to L and XL despite <1 GB per core (within ~25%).
+    assert times["HCXL"] < times["L"] * 1.25
+    assert times["HCXL"] < times["XL"] * 1.25
+    # The slight memory correlation: XL's extra memory keeps it within
+    # ~15% of the faster-clocked HCXL.
+    assert times["XL"] < times["HCXL"] * 1.30
+
+    # Figure 7: HCXL most cost-effective, HM4XL priciest.
+    assert costs["HCXL"] == min(costs.values())
+    assert costs["HM4XL"] == max(costs.values())

@@ -1,0 +1,86 @@
+"""Figure 9: BLAST across Azure instance types, workers x threads.
+
+Paper setup: 8 query files of 100 sequences, on 8 Small / 4 Medium /
+2 Large / 1 ExtraLarge instances (constant 8 cores), each tried with
+multiple workers (processes) and with BLAST threads.
+
+Paper findings to reproduce:
+* although Azure instance features scale linearly, BLAST performs better
+  with more total memory — the ~8 GB database gets resident;
+* Large and ExtraLarge deliver the best performance;
+* pure BLAST threads inside one worker are slightly slower than the same
+  core count as separate worker processes;
+* cost is directly proportional to run time (linear Azure pricing).
+"""
+
+import pytest
+
+from repro.core.application import get_application
+from repro.core.report import format_table
+from repro.workloads.protein import blast_task_specs
+
+from benchmarks._shapes import quiet_azure
+from benchmarks.conftest import run_once
+
+# (instance type, count, workers/instance, threads/worker) — all 8 cores.
+SHAPES = [
+    ("Small", 8, 1, 1),
+    ("Medium", 4, 2, 1),
+    ("Medium", 4, 1, 2),
+    ("Large", 2, 4, 1),
+    ("Large", 2, 1, 4),
+    ("ExtraLarge", 1, 8, 1),
+    ("ExtraLarge", 1, 1, 8),
+]
+
+
+def test_fig9_blast_azure_instance_types(benchmark, emit):
+    app = get_application("blast")
+    tasks = blast_task_specs(8, inhomogeneous_base=False, seed=4)
+
+    def study():
+        out = []
+        for itype, n, workers, threads in SHAPES:
+            backend = quiet_azure(
+                instance_type=itype,
+                n_instances=n,
+                workers_per_instance=workers,
+                threads_per_worker=threads,
+            )
+            result = backend.run(app.with_threads(threads), tasks)
+            out.append(
+                (f"{itype} {workers}x{threads}", itype, workers, threads,
+                 result.makespan_seconds, result.billing.amortized_compute_cost)
+            )
+        return out
+
+    results = run_once(benchmark, study)
+    emit(
+        "fig9_blast_azure_types",
+        format_table(
+            ["shape (workers x threads)", "time (s)", "amortized $"],
+            [[label, f"{t:,.0f}", f"{cost:.2f}"]
+             for label, _, _, _, t, cost in results],
+            title="Figure 9: BLAST on Azure instance types (8 query files)",
+        ),
+    )
+
+    best_time = {}
+    for label, itype, workers, threads, t, cost in results:
+        best_time[itype] = min(best_time.get(itype, float("inf")), t)
+
+    # More total memory = faster; Large/XL are the best performers.
+    assert best_time["Small"] > best_time["Medium"] > best_time["Large"]
+    assert best_time["ExtraLarge"] <= best_time["Large"] * 1.05
+
+    # Threads slightly slower than the same cores as processes.
+    by_shape = {
+        (itype, workers, threads): t
+        for _, itype, workers, threads, t, _ in results
+    }
+    assert by_shape[("Large", 1, 4)] > by_shape[("Large", 4, 1)] * 0.99
+    assert by_shape[("ExtraLarge", 1, 8)] > by_shape[("ExtraLarge", 8, 1)]
+
+    # Cost proportional to time (linear pricing): same $/s across shapes.
+    rates = [cost / t for _, _, _, _, t, cost in results]
+    assert max(rates) == pytest.approx(min(rates), rel=0.05)

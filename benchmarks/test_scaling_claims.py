@@ -1,0 +1,114 @@
+"""Two scaling claims stated in the paper's prose, verified.
+
+1. Introduction: "100 hours of 10 cloud compute nodes cost the same as
+   10 hours in 100 cloud compute nodes" — horizontal scaling raises
+   throughput without raising (amortized) cost.
+2. Section 3: "We do not present results for Azure Cap3 and GTM
+   Interpolation applications, as the performance of the Azure instance
+   types for those applications scaled linearly with the price" — the
+   justification for Figure 9 being BLAST-only.
+"""
+
+import pytest
+
+from repro.core.application import get_application
+from repro.core.report import format_table
+from repro.workloads.genome import cap3_task_specs
+
+from benchmarks._shapes import quiet_azure, quiet_ec2
+from benchmarks.conftest import run_once
+
+
+def test_horizontal_scaling_cost_invariance(benchmark, emit):
+    """Same workload, 4x the fleet: ~1/4 the time, same amortized cost."""
+    app = get_application("cap3")
+    tasks = cap3_task_specs(256, reads_per_file=458)
+
+    def study():
+        out = []
+        for n_instances in (2, 4, 8):
+            backend = quiet_ec2(n_instances=n_instances, perf_jitter=0.0)
+            result = backend.run(app, tasks)
+            out.append(
+                (
+                    n_instances,
+                    result.makespan_seconds,
+                    result.billing.amortized_compute_cost,
+                )
+            )
+        return out
+
+    rows = run_once(benchmark, study)
+    emit(
+        "scaling_cost_invariance",
+        format_table(
+            ["HCXL instances", "makespan (s)", "amortized compute $"],
+            [[n, f"{m:,.0f}", f"{c:.3f}"] for n, m, c in rows],
+            title="Intro claim: horizontal scaling is throughput-free "
+                  "(256 Cap3 files)",
+        ),
+    )
+
+    times = {n: m for n, m, _ in rows}
+    costs = {n: c for n, _, c in rows}
+    # 4x instances -> ~4x faster.
+    assert times[2] / times[8] == pytest.approx(4.0, rel=0.15)
+    # ...at essentially unchanged amortized cost.
+    assert costs[8] == pytest.approx(costs[2], rel=0.10)
+
+
+def test_azure_cap3_scales_linearly_with_price(benchmark, emit):
+    """Section 3's reason for omitting Azure Cap3 from the instance-type
+    study: equal total cores of any Azure type give equal time and equal
+    cost (features and price both scale linearly)."""
+    cap3 = get_application("cap3")
+    gtm = get_application("gtm")
+    from repro.workloads.pubchem import gtm_task_specs
+
+    shapes = [("Small", 16, 1), ("Medium", 8, 2), ("Large", 4, 4),
+              ("ExtraLarge", 2, 8)]
+
+    def study():
+        out = {}
+        for app, tasks in (
+            ("cap3", cap3_task_specs(64, reads_per_file=200)),
+            ("gtm", gtm_task_specs(64)),
+        ):
+            application = cap3 if app == "cap3" else gtm
+            rows = []
+            for itype, n, workers in shapes:
+                backend = quiet_azure(
+                    instance_type=itype,
+                    n_instances=n,
+                    workers_per_instance=workers,
+                    perf_jitter=0.0,
+                )
+                result = backend.run(application, tasks)
+                rows.append(
+                    (itype, result.makespan_seconds,
+                     result.billing.amortized_compute_cost)
+                )
+            out[app] = rows
+        return out
+
+    results = run_once(benchmark, study)
+    text = []
+    for app, rows in results.items():
+        text.append(
+            format_table(
+                ["Azure type (16 cores total)", "time (s)", "amortized $"],
+                [[t, f"{m:,.0f}", f"{c:.3f}"] for t, m, c in rows],
+                title=f"Section 3 claim: Azure {app} scales linearly",
+            )
+        )
+    emit("azure_linear_scaling", "\n\n".join(text))
+
+    # Cap3 (CPU-bound): every shape within a few percent of every other.
+    cap3_times = [m for _, m, _ in results["cap3"]]
+    assert max(cap3_times) / min(cap3_times) < 1.10
+    cap3_costs = [c for _, _, c in results["cap3"]]
+    assert max(cap3_costs) / min(cap3_costs) < 1.12
+    # GTM: Azure's bandwidth scales with cores (linear features), so the
+    # memory-bound app also stays uniform — unlike on EC2 (Fig 12/13).
+    gtm_times = [m for _, m, _ in results["gtm"]]
+    assert max(gtm_times) / min(gtm_times) < 1.15

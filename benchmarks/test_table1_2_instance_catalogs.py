@@ -1,0 +1,68 @@
+"""Tables 1 and 2: the EC2 and Azure instance-type catalogs."""
+
+from repro.cloud import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+from repro.core.report import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_ec2_catalog(benchmark, emit):
+    def build():
+        rows = []
+        for name in ("L", "XL", "HCXL", "HM4XL"):
+            itype = EC2_INSTANCE_TYPES[name]
+            machine = itype.machine
+            rows.append(
+                [
+                    itype.name,
+                    f"{machine.memory_gb} GB",
+                    itype.ec2_compute_units,
+                    f"{machine.cores} X (~{machine.clock_ghz}GHz)",
+                    f"{itype.cost_per_hour}$",
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, build)
+    emit(
+        "table1_ec2_instance_types",
+        format_table(
+            ["Instance Type", "Memory", "EC2 compute units", "Actual CPU cores",
+             "Cost per hour"],
+            rows,
+            title="Table 1: Selected EC2 instance types",
+        ),
+    )
+    # Paper values, verbatim.
+    assert rows[0] == ["L", "7.5 GB", 4, "2 X (~2.0GHz)", "0.34$"]
+    assert rows[2][4] == "0.68$" and rows[1][4] == "0.68$"
+    assert rows[3] == ["HM4XL", "68.4 GB", 26, "8 X (~3.25GHz)", "2.0$"]
+
+
+def test_table2_azure_catalog(benchmark, emit):
+    def build():
+        return [
+            [
+                itype.name,
+                itype.machine.cores,
+                f"{itype.machine.memory_gb} GB",
+                f"{itype.cost_per_hour}$",
+            ]
+            for itype in AZURE_INSTANCE_TYPES.values()
+        ]
+
+    rows = run_once(benchmark, build)
+    emit(
+        "table2_azure_instance_types",
+        format_table(
+            ["Instance Type", "CPU Cores", "Memory", "Cost per hour"],
+            rows,
+            title="Table 2: Microsoft Windows Azure instance types",
+        ),
+    )
+    assert rows == [
+        ["Small", 1, "1.7 GB", "0.12$"],
+        ["Medium", 2, "3.5 GB", "0.24$"],
+        ["Large", 4, "7.0 GB", "0.48$"],
+        ["ExtraLarge", 8, "15.0 GB", "0.96$"],
+    ]

@@ -1,0 +1,60 @@
+"""Section 2.4's usability comparison, quantified.
+
+The paper's qualitative finding: "The deployment process was easier with
+Azure as opposed to EC2, in which we had to manually create instances,
+install software and start the worker instances", plus §4.3's note that
+environment-preparation instance time is an additional (normally
+unreported) cost.  This bench renders both as numbers.
+"""
+
+from repro.cloud.deployment import (
+    AZURE_DEPLOYMENT,
+    EC2_DEPLOYMENT,
+    preparation_cost,
+)
+from repro.cloud.instance_types import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+from repro.core.report import format_table
+
+from benchmarks.conftest import run_once
+
+FLEETS = [1, 4, 16, 64]
+
+
+def test_usability_deployment_comparison(benchmark, emit):
+    def study():
+        rows = []
+        for n in FLEETS:
+            ec2_manual = EC2_DEPLOYMENT.manual_seconds(n) / 60.0
+            azure_manual = AZURE_DEPLOYMENT.manual_seconds(n) / 60.0
+            ec2_prep = preparation_cost(
+                EC2_DEPLOYMENT, EC2_INSTANCE_TYPES["HCXL"], n
+            )
+            azure_prep = preparation_cost(
+                AZURE_DEPLOYMENT, AZURE_INSTANCE_TYPES["Small"], n
+            )
+            rows.append((n, ec2_manual, azure_manual, ec2_prep, azure_prep))
+        return rows
+
+    rows = run_once(benchmark, study)
+    emit(
+        "usability_deployment",
+        format_table(
+            ["instances", "EC2 operator (min)", "Azure operator (min)",
+             "EC2 prep cost", "Azure prep cost"],
+            [
+                [n, f"{e:.0f}", f"{a:.0f}", f"${ec:.2f}", f"${ac:.2f}"]
+                for n, e, a, ec, ac in rows
+            ],
+            title="Section 2.4 usability: deployment effort and "
+                  "environment-preparation cost",
+        ),
+    )
+
+    # Azure's operator effort is flat; EC2's grows with fleet size.
+    ec2_minutes = [e for _, e, _, _, _ in rows]
+    azure_minutes = [a for _, _, a, _, _ in rows]
+    assert len(set(azure_minutes)) == 1
+    assert ec2_minutes == sorted(ec2_minutes)
+    assert ec2_minutes[-1] > ec2_minutes[0]
+    # At fleet scale, Azure wins on usability — the paper's conclusion.
+    assert azure_minutes[-1] < ec2_minutes[-1]

@@ -1,0 +1,77 @@
+"""Section 3's sustained-performance variability study.
+
+Gunarathne et al. [12] measured the run-to-run variation of these cloud
+platforms over a week: standard deviations of 1.56% (AWS) and 2.25%
+(Azure) with no day/time correlation — the basis for the paper's claim
+that its results don't depend on when they were measured.
+
+This bench repeats one Cap3 workload across many independently seeded
+runs per provider and checks that the observed makespan variation stays
+in that low-single-digit-percent regime, with AWS tighter than Azure.
+"""
+
+import numpy as np
+
+from repro.core.application import get_application
+from repro.core.report import format_table
+from repro.workloads.genome import cap3_task_specs
+
+from benchmarks._shapes import quiet_azure, quiet_ec2
+from benchmarks.conftest import run_once
+
+N_RUNS = 12
+
+
+def test_sustained_performance_variability(benchmark, emit):
+    app = get_application("cap3")
+    tasks = cap3_task_specs(n_files=64, reads_per_file=458)
+
+    def study():
+        # Identical fleet shapes (4 instances x 8 cores) so the
+        # per-provider jitter parameter — not max-order statistics over
+        # different fleet sizes — drives the comparison.
+        out = {}
+        for provider, factory in (
+            ("AWS", lambda seed: quiet_ec2(n_instances=4, seed=seed)),
+            (
+                "Azure",
+                lambda seed: quiet_azure(
+                    instance_type="ExtraLarge",
+                    n_instances=4,
+                    workers_per_instance=8,
+                    seed=seed,
+                ),
+            ),
+        ):
+            makespans = []
+            for seed in range(N_RUNS):
+                result = factory(1000 + seed).run(app, tasks)
+                makespans.append(result.makespan_seconds)
+            makespans = np.array(makespans)
+            out[provider] = (
+                float(makespans.mean()),
+                float(makespans.std(ddof=1) / makespans.mean()),
+            )
+        return out
+
+    results = run_once(benchmark, study)
+    emit(
+        "variability_study",
+        format_table(
+            ["provider", "mean makespan (s)", "relative std-dev"],
+            [
+                [name, f"{mean:,.0f}", f"{rel_std * 100:.2f}%"]
+                for name, (mean, rel_std) in results.items()
+            ],
+            title=f"Sustained-performance variability ({N_RUNS} runs each; "
+                  "paper: 1.56% AWS / 2.25% Azure)",
+        ),
+    )
+
+    aws_std = results["AWS"][1]
+    azure_std = results["Azure"][1]
+    # Low-single-digit-percent variation, the paper's regime.
+    assert aws_std < 0.05
+    assert azure_std < 0.06
+    # Azure's jitter model is wider than AWS's.
+    assert azure_std > aws_std * 0.8

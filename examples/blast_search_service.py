@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Distributed protein similarity search (BLAST), Section 5 style.
+
+* runs a real mini-BLAST search locally — planted homologs recovered
+  from a synthetic NR-like database, with a threads-vs-processes check;
+* plays the paper's Azure instance-type study (Figure 9): the same 8
+  query files on 8 Small / 4 Medium / 2 Large / 1 ExtraLarge instances,
+  showing the memory-residency effect on the 8.7 GB database;
+* reports the EC2-vs-Azure scalability comparison (Figures 10/11).
+
+Run:  python examples/blast_search_service.py
+"""
+
+from repro import get_application, make_backend
+from repro.apps.blast import blast_search
+from repro.cloud.failures import FaultPlan
+from repro.core.metrics import parallel_efficiency
+from repro.core.report import format_table
+from repro.workloads.protein import (
+    blast_task_specs,
+    generate_protein_database,
+    generate_query_records,
+)
+
+
+def real_search() -> None:
+    print("=== Real mini-BLAST: planted homologs in a synthetic NR ===")
+    db = generate_protein_database(n_sequences=40, seed=1)
+    queries = generate_query_records(
+        db, n_queries=20, homolog_fraction=0.6, identity=0.8, seed=2
+    )
+    results = blast_search(queries, db, num_threads=2)
+    planted = sum(
+        1 for q in queries if q.description.startswith("homolog_of=")
+    )
+    recovered = 0
+    for query in queries:
+        if not query.description.startswith("homolog_of="):
+            continue
+        truth = query.description.split("=", 1)[1]
+        hits = results[query.id]
+        if hits and hits[0].subject_id == truth:
+            recovered += 1
+    print(f"{recovered}/{planted} planted homologs recovered as top hit")
+    print()
+
+
+def azure_instance_types() -> None:
+    print("=== Figure 9 shape: BLAST on Azure instance types ===")
+    app = get_application("blast")
+    tasks = blast_task_specs(8, inhomogeneous_base=False, seed=5)
+    shapes = [
+        ("Small", 8, 1, 1),       # 8 instances x 1 worker x 1 thread
+        ("Medium", 4, 2, 1),
+        ("Large", 2, 4, 1),
+        ("Large", 2, 1, 4),       # 1 worker x N threads variant
+        ("ExtraLarge", 1, 8, 1),
+        ("ExtraLarge", 1, 1, 8),
+    ]
+    rows = []
+    for itype, n, workers, threads in shapes:
+        backend = make_backend(
+            "azure",
+            instance_type=itype,
+            n_instances=n,
+            workers_per_instance=workers,
+            threads_per_worker=threads,
+            fault_plan=FaultPlan.none(),
+        )
+        result = backend.run(app.with_threads(threads), tasks)
+        rows.append(
+            [f"{itype} ({workers}x{threads})", n,
+             f"{result.makespan_seconds:,.0f}"]
+        )
+    print(format_table(["instance (workers x threads)", "count", "time (s)"],
+                       rows))
+    print("-> more memory per instance = database stays resident = faster;")
+    print("   threads slightly behind the same core count as processes.")
+    print()
+
+
+def scalability() -> None:
+    print("=== Figures 10/11 shape: BLAST weak scaling ===")
+    app = get_application("blast")
+    rows = []
+    for n_files in (128, 256, 384):
+        tasks = blast_task_specs(n_files, seed=9)
+        ec2 = make_backend("ec2", n_instances=16, fault_plan=FaultPlan.none())
+        azure = make_backend(
+            "azure",
+            instance_type="Large",
+            n_instances=16,
+            workers_per_instance=4,
+            fault_plan=FaultPlan.none(),
+        )
+        for name, backend in (("EC2 16xHCXL", ec2), ("Azure 16xLarge", azure)):
+            result = backend.run(app, tasks)
+            t1 = backend.estimate_sequential_time(app, tasks)
+            eff = parallel_efficiency(
+                t1, result.makespan_seconds, backend.total_cores
+            )
+            rows.append([name, n_files, f"{eff:.3f}"])
+    print(format_table(["platform", "query files", "efficiency"], rows))
+
+
+if __name__ == "__main__":
+    real_search()
+    azure_instance_types()
+    scalability()

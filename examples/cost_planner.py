@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Buy vs lease: what does your workload cost where?  (Table 4 / §4.3)
+
+Runs the paper's 4096-file Cap3 assembly on simulated EC2 (16 HCXL) and
+Azure (128 Small), runs the same job on the simulated internal cluster
+via Hadoop, and prints the full cost comparison including the owned
+cluster at 80/70/60 % utilization — the paper's Table 4 plus its
+Section 4.3 TCO analysis.
+
+Run:  python examples/cost_planner.py
+"""
+
+from repro import get_application, make_backend
+from repro.cloud.failures import FaultPlan
+from repro.cluster import get_cluster
+from repro.core.cost import cloud_vs_cluster
+from repro.core.report import format_table
+from repro.workloads.genome import cap3_task_specs
+
+
+def main() -> None:
+    app = get_application("cap3")
+    tasks = cap3_task_specs(n_files=4096, reads_per_file=458)
+
+    print("running EC2 (16 x HCXL) ...")
+    ec2 = make_backend("ec2", n_instances=16, fault_plan=FaultPlan.none())
+    ec2_result = ec2.run(app, tasks)
+
+    print("running Azure (128 x Small) ...")
+    # perf_jitter=0: cost accounting at nominal instance speed, as the
+    # paper's Table 4 assumes (the jittered run straddles the hour mark).
+    azure = make_backend(
+        "azure", n_instances=128, fault_plan=FaultPlan.none(), perf_jitter=0.0
+    )
+    azure_result = azure.run(app, tasks)
+
+    print("running Hadoop on the internal 32x24-core cluster ...\n")
+    hadoop = make_backend("hadoop", cluster=get_cluster("internal-tco"))
+    hadoop_result = hadoop.run(app, tasks)
+    cluster_hours = hadoop_result.makespan_seconds / 3600.0
+
+    comparison = cloud_vs_cluster(
+        aws_report=ec2_result.billing,
+        azure_report=azure_result.billing,
+        cluster_wall_hours=cluster_hours,
+    )
+
+    print(format_table(
+        ["", "Amazon Web Services", "Azure"],
+        comparison.table4_rows(),
+        title="Table 4-style cost comparison (4096 FASTA files)",
+    ))
+    print()
+    print(format_table(
+        ["internal cluster", "cost"],
+        comparison.cluster_rows(),
+        title=f"Owned cluster ({cluster_hours * 60:.0f} min wall time), "
+              "500k$ purchase / 3y + 150k$/y maintenance:",
+    ))
+    print()
+    ec2_makespan_h = ec2_result.makespan_seconds / 3600.0
+    print(f"EC2 makespan: {ec2_makespan_h:.2f} h; "
+          f"Azure: {azure_result.makespan_seconds / 3600.0:.2f} h; "
+          f"cluster: {cluster_hours:.2f} h")
+    print("-> clouds are cost-competitive with a well-utilized owned "
+          "cluster, without the upfront investment.")
+
+
+if __name__ == "__main__":
+    main()

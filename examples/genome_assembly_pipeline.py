@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Genome assembly (Cap3) across all four cloud paradigms.
+
+Recreates the Section 4 story end to end:
+
+* assembles a real shotgun read set locally and reports contig stats;
+* runs the paper-scale replicated workload on simulated EC2, Azure,
+  Hadoop and DryadLINQ deployments of equal core count and prints the
+  cross-framework comparison the paper's Figures 5/6 make;
+* shows what an inhomogeneous workload does to DryadLINQ's static
+  partitioning versus Hadoop's dynamic queue.
+
+Run:  python examples/genome_assembly_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import get_application, make_backend
+from repro.apps.cap3 import assemble
+from repro.cloud.failures import FaultPlan
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.report import format_table
+from repro.workloads.genome import cap3_task_specs, generate_read_records
+
+
+def real_assembly() -> None:
+    print("=== Real mini-Cap3 assembly ===")
+    reads = generate_read_records(n_reads=120, read_length=300, coverage=10.0)
+    result = assemble(reads)
+    print(f"reads in: {int(result.stats['reads_in'])}, "
+          f"contigs: {len(result.contigs)}, "
+          f"singletons: {len(result.singletons)}, "
+          f"N50: {result.n50} bp")
+    print()
+
+
+def four_framework_comparison() -> None:
+    print("=== Four frameworks, 64 cores each, replicated 458-read files ===")
+    from repro.cluster import get_cluster
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(n_files=512, reads_per_file=458)
+    backends = {
+        "EC2 (8x HCXL)": make_backend(
+            "ec2", n_instances=8, fault_plan=FaultPlan.none()
+        ),
+        "Azure (64x Small)": make_backend(
+            "azure", n_instances=64, fault_plan=FaultPlan.none()
+        ),
+        # Bare-metal clusters restricted to 8 nodes = 64 cores.
+        "Hadoop (8 nodes x 8)": make_backend(
+            "hadoop", cluster=get_cluster("cap3-baremetal").subset(8)
+        ),
+        "DryadLINQ (8 nodes x 8)": make_backend(
+            "dryadlinq", cluster=get_cluster("cap3-baremetal-windows").subset(8)
+        ),
+    }
+
+    rows = []
+    for name, backend in backends.items():
+        result = backend.run(app, tasks)
+        t1 = backend.estimate_sequential_time(app, tasks)
+        eff = parallel_efficiency(t1, result.makespan_seconds, backend.total_cores)
+        per_core = average_time_per_file_per_core(
+            result.makespan_seconds, backend.total_cores, len(tasks)
+        )
+        rows.append(
+            [name, f"{result.makespan_seconds:,.0f}", f"{eff:.3f}",
+             f"{per_core:.1f}"]
+        )
+    print(format_table(
+        ["framework", "makespan (s)", "efficiency", "s/file/core"], rows
+    ))
+    print()
+
+
+def load_balance_story() -> None:
+    print("=== Inhomogeneous data: dynamic vs static scheduling ===")
+    from repro.cluster import get_cluster
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(
+        n_files=256, reads_per_file=458, inhomogeneous=True, seed=13
+    )
+    hadoop = make_backend("hadoop", cluster=get_cluster("cap3-baremetal").subset(8))
+    dryad = make_backend(
+        "dryadlinq", cluster=get_cluster("cap3-baremetal-windows").subset(8)
+    )
+    h = hadoop.run(app, tasks)
+    d = dryad.run(app, tasks)
+    print(f"Hadoop   (dynamic queue):     {h.makespan_seconds:,.0f} s")
+    print(f"DryadLINQ (static partitions): {d.makespan_seconds:,.0f} s "
+          f"(imbalance {d.extras['partition_imbalance']:.2f}x, and Windows "
+          f"runs Cap3 ~12.5% faster — correct for that when comparing)")
+
+
+if __name__ == "__main__":
+    real_assembly()
+    four_framework_comparison()
+    load_balance_story()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Cloud Computing Paradigms for Pleasingly
+Parallel Biomedical Applications" (Gunarathne, Wu, Choi, Bae, Qiu; 2010).
+
+Quickstart::
+
+    from repro import get_application, run
+    from repro.workloads.genome import cap3_task_specs
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(n_files=200, reads_per_file=200)
+    result = run(app, tasks, backend="ec2", n_instances=2)
+    print(f"{result.makespan_seconds:.0f}s, "
+          f"${result.billing.total_cost:.2f}")
+
+Packages:
+
+* :mod:`repro.core` — the unified pleasingly-parallel API, metrics, cost.
+* :mod:`repro.classiccloud` — the Classic Cloud framework (sim + local).
+* :mod:`repro.hadoop`, :mod:`repro.dryad` — the MapReduce/DAG substrates.
+* :mod:`repro.cloud`, :mod:`repro.cluster` — IaaS and bare-metal models.
+* :mod:`repro.apps` — real Cap3 / BLAST / GTM implementations.
+* :mod:`repro.workloads` — synthetic data generators.
+* :mod:`repro.sim` — the discrete-event simulation kernel.
+"""
+
+from repro.core.api import evaluate, run
+from repro.core.application import Application, get_application
+from repro.core.backends import make_backend
+from repro.core.metrics import (
+    average_time_per_file_per_core,
+    parallel_efficiency,
+    speedup,
+)
+from repro.core.task import RunResult, TaskSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "RunResult",
+    "TaskSpec",
+    "__version__",
+    "average_time_per_file_per_core",
+    "evaluate",
+    "get_application",
+    "make_backend",
+    "parallel_efficiency",
+    "run",
+    "speedup",
+]

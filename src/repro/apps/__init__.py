@@ -1,0 +1,88 @@
+"""The three biomedical applications, implemented for real.
+
+Each application exists in two forms:
+
+* a real algorithm operating on real (synthetic) data — used by the local
+  execution backend, the examples and the correctness tests:
+
+  - :mod:`repro.apps.cap3` — a miniature overlap-layout-consensus DNA
+    assembler in the spirit of CAP3 (Huang & Madan 1999);
+  - :mod:`repro.apps.blast` — a miniature protein BLAST (k-mer seeding,
+    two-hit diagonal filtering, gapped extension, BLOSUM62,
+    Karlin–Altschul e-values);
+  - :mod:`repro.apps.gtm` — full Generative Topographic Mapping training
+    plus the paper's GTM Interpolation out-of-sample extension;
+
+* a calibrated analytic performance model (:mod:`repro.apps.perfmodels`)
+  used by the discrete-event simulator to play the paper's large-scale
+  experiments without the authors' hardware.
+
+:mod:`repro.apps.executables` wraps each algorithm behind the paper's
+"existing sequential executable" contract — a file in, a file out — which
+is the interface every framework in this repository schedules.
+"""
+
+from repro.apps.blast import (
+    BlastDatabase,
+    BlastHit,
+    LowComplexityFilter,
+    blast_search,
+    mask_low_complexity,
+)
+from repro.apps.cap3 import AssemblyResult, Cap3Params, assemble
+from repro.apps.executables import (
+    BlastExecutable,
+    Cap3Executable,
+    Executable,
+    GtmInterpolationExecutable,
+)
+from repro.apps.fasta import FastaRecord, read_fasta, write_fasta
+from repro.apps.gtm import GtmModel, gtm_interpolate, train_gtm
+from repro.apps.fastq import FastqRecord, quality_trim, read_fastq, write_fastq
+from repro.apps.perfmodels import (
+    APP_PERF_MODELS,
+    TaskPerfModel,
+    task_runtime_seconds,
+)
+from repro.apps.swg import (
+    SWG_PERF_MODEL,
+    SwgParams,
+    pairwise_distance,
+    swg_align,
+    swg_block_task_specs,
+    swg_distance_block,
+)
+
+__all__ = [
+    "APP_PERF_MODELS",
+    "AssemblyResult",
+    "BlastDatabase",
+    "BlastExecutable",
+    "BlastHit",
+    "Cap3Executable",
+    "Cap3Params",
+    "Executable",
+    "FastaRecord",
+    "FastqRecord",
+    "GtmInterpolationExecutable",
+    "GtmModel",
+    "LowComplexityFilter",
+    "SWG_PERF_MODEL",
+    "SwgParams",
+    "TaskPerfModel",
+    "assemble",
+    "blast_search",
+    "gtm_interpolate",
+    "mask_low_complexity",
+    "pairwise_distance",
+    "quality_trim",
+    "read_fasta",
+    "read_fastq",
+    "swg_align",
+    "swg_block_task_specs",
+    "swg_distance_block",
+    "task_runtime_seconds",
+    "train_gtm",
+    "write_fasta",
+    "write_fastq",
+]

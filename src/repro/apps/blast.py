@@ -1,0 +1,518 @@
+"""A miniature protein BLAST (seed–extend similarity search).
+
+Real algorithmic pipeline in the style of NCBI BLAST+ (Camacho et al.
+2009), scaled down but faithful in structure:
+
+1. **word index** — the database is indexed by k=3 amino-acid words
+   (optionally with a scored neighbourhood, as in true BLASTP);
+2. **two-hit trigger** — two word hits on the same diagonal within a
+   window trigger extension (cuts spurious extensions, as in BLAST 2.0);
+3. **ungapped X-drop extension** — seeds extend along the diagonal until
+   the score drops X below the running maximum;
+4. **gapped banded Smith–Waterman** — promising ungapped hits are
+   re-aligned with gaps inside a diagonal band;
+5. **Karlin–Altschul statistics** — raw scores convert to bit scores and
+   e-values with the standard gapped BLOSUM62 parameters.
+
+The database object holds all sequences and the word index resident in
+memory — the property behind the paper's Figure 9 memory study (BLAST can
+"load and reuse the whole database in memory" only when the instance has
+enough of it).
+
+Queries are independent; :func:`blast_search` optionally fans a query
+batch across threads, mirroring ``blastp -num_threads``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.fasta import FastaRecord
+
+__all__ = [
+    "AMINO_ACIDS",
+    "BlastDatabase",
+    "BlastHit",
+    "BlastParams",
+    "LowComplexityFilter",
+    "blast_search",
+    "blosum62",
+    "mask_low_complexity",
+]
+
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+_AA_INDEX = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+
+# Standard BLOSUM62 substitution matrix, row/column order as AMINO_ACIDS.
+_BLOSUM62_ROWS = [
+    # A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
+    [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
+    [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
+    [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
+    [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
+    [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
+    [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
+    [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
+    [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
+    [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
+    [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
+    [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
+    [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
+    [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -2],
+    [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -2, 4],
+]
+_BLOSUM62 = np.array(_BLOSUM62_ROWS, dtype=np.int32)
+# Plain nested lists for the scalar alignment kernel: per-cell ndarray
+# indexing is ~10x slower than list indexing at this matrix size.
+_BLOSUM62_LISTS = [list(row) for row in _BLOSUM62_ROWS]
+
+
+def blosum62(a: str, b: str) -> int:
+    """BLOSUM62 score for one residue pair."""
+    return int(_BLOSUM62[_AA_INDEX[a], _AA_INDEX[b]])
+
+
+# Gapped Karlin-Altschul parameters for BLOSUM62 / gap open 11 extend 1.
+_KA_LAMBDA = 0.267
+_KA_K = 0.041
+_LN2 = float(np.log(2.0))
+
+
+@dataclass(frozen=True)
+class BlastParams:
+    """Search thresholds (defaults modelled on blastp's)."""
+
+    word_size: int = 3
+    two_hit_window: int = 40
+    xdrop_ungapped: float = 7.0
+    xdrop_gapped: float = 15.0
+    gap_penalty: float = 11.0  # linear gap cost inside the banded DP
+    band_width: int = 16
+    min_ungapped_score: int = 22  # promotion threshold to gapped stage
+    max_evalue: float = 10.0
+    neighborhood_threshold: int | None = None  # e.g. 11 for true-BLAST words
+    # SEG-style low-complexity filtering: query windows whose Shannon
+    # entropy falls below the threshold are excluded from seeding
+    # (blastp's default behaviour).  None disables filtering.
+    low_complexity_filter: "LowComplexityFilter | None" = None
+
+    def __post_init__(self) -> None:
+        if self.word_size < 2:
+            raise ValueError("word_size must be >= 2")
+        if self.band_width < 1:
+            raise ValueError("band_width must be >= 1")
+
+
+@dataclass(frozen=True)
+class LowComplexityFilter:
+    """Entropy-based query masking parameters (SEG-flavoured)."""
+
+    window: int = 12
+    entropy_threshold_bits: float = 2.2  # uniform 20 letters = log2(20)=4.32
+
+    def __post_init__(self) -> None:
+        if self.window < 4:
+            raise ValueError("window must be >= 4")
+        if self.entropy_threshold_bits <= 0:
+            raise ValueError("entropy threshold must be positive")
+
+
+def mask_low_complexity(
+    enc: np.ndarray, filter_params: LowComplexityFilter
+) -> np.ndarray:
+    """Boolean mask: True where the query is low complexity.
+
+    Sliding-window Shannon entropy over residue frequencies; a window
+    below the threshold masks all its positions — the shape of the SEG
+    algorithm (Wootton & Federhen) without its two-stage refinement.
+    """
+    n = len(enc)
+    window = filter_params.window
+    masked = np.zeros(n, dtype=bool)
+    if n < window:
+        return masked
+    for start in range(0, n - window + 1):
+        counts = np.bincount(enc[start : start + window], minlength=20)
+        freqs = counts[counts > 0] / window
+        entropy = float(-(freqs * np.log2(freqs)).sum())
+        if entropy < filter_params.entropy_threshold_bits:
+            masked[start : start + window] = True
+    return masked
+
+
+@dataclass(frozen=True)
+class BlastHit:
+    """One reported alignment (tabular-output shape)."""
+
+    query_id: str
+    subject_id: str
+    raw_score: float
+    bit_score: float
+    evalue: float
+    identity: float
+    align_length: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+
+def _encode(seq: str) -> np.ndarray:
+    """Protein string to residue-index array; raises on unknown residues."""
+    try:
+        return np.array([_AA_INDEX[c] for c in seq], dtype=np.int64)
+    except KeyError as exc:
+        raise ValueError(f"unknown amino acid {exc.args[0]!r}") from None
+
+
+class BlastDatabase:
+    """An in-memory protein database with a k-word index.
+
+    ``memory_bytes`` reports the resident footprint (sequences + index),
+    the quantity that has to fit in instance RAM for the paper's
+    memory-sensitivity results.
+    """
+
+    def __init__(self, records: list[FastaRecord], word_size: int = 3):
+        if not records:
+            raise ValueError("database needs at least one sequence")
+        self.word_size = word_size
+        self.ids = [r.id for r in records]
+        self.seqs = [r.seq for r in records]
+        self.encoded = [_encode(r.seq) for r in records]
+        self.total_residues = sum(len(s) for s in self.seqs)
+        self.index: dict[bytes, list[tuple[int, int]]] = {}
+        for seq_idx, enc in enumerate(self.encoded):
+            as_bytes = enc.astype(np.uint8).tobytes()
+            for pos in range(0, len(as_bytes) - word_size + 1):
+                word = as_bytes[pos : pos + word_size]
+                self.index.setdefault(word, []).append((seq_idx, pos))
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate resident footprint of sequences plus index."""
+        seq_bytes = self.total_residues
+        # Each posting is a (seq_idx, pos) tuple: dominated by list/tuple
+        # overhead; 64 bytes is a fair CPython estimate.
+        postings = sum(len(v) for v in self.index.values())
+        return seq_bytes + 64 * postings
+
+
+def _query_words(
+    enc: np.ndarray, params: BlastParams
+) -> list[tuple[int, bytes]]:
+    """(position, word) probes for a query, optionally with neighbourhood.
+
+    Positions inside low-complexity regions are skipped when filtering
+    is enabled — they would otherwise seed floods of spurious hits.
+    """
+    k = params.word_size
+    base = enc.astype(np.uint8).tobytes()
+    masked = None
+    if params.low_complexity_filter is not None:
+        masked = mask_low_complexity(enc, params.low_complexity_filter)
+    probes: list[tuple[int, bytes]] = []
+    for pos in range(0, len(base) - k + 1):
+        if masked is not None and masked[pos : pos + k].any():
+            continue
+        word = base[pos : pos + k]
+        probes.append((pos, word))
+        if params.neighborhood_threshold is None:
+            continue
+        # Neighbourhood: single-substitution variants scoring >= T
+        # against the query word (true BLASTP admits any word >= T; one
+        # substitution captures the overwhelming majority for k=3).
+        exact = sum(
+            int(_BLOSUM62[word[i], word[i]]) for i in range(k)
+        )
+        for i in range(k):
+            original = word[i]
+            for replacement in range(len(AMINO_ACIDS)):
+                if replacement == original:
+                    continue
+                score = (
+                    exact
+                    - int(_BLOSUM62[original, original])
+                    + int(_BLOSUM62[original, replacement])
+                )
+                if score >= params.neighborhood_threshold:
+                    variant = bytearray(word)
+                    variant[i] = replacement
+                    probes.append((pos, bytes(variant)))
+    return probes
+
+
+def _ungapped_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    q_pos: int,
+    s_pos: int,
+    word_size: int,
+    xdrop: float,
+) -> tuple[int, int, int, int, float]:
+    """X-drop extension along the diagonal.
+
+    Returns (q_start, q_end, s_start, s_end, score) with end exclusive.
+    """
+    seed_score = float(
+        _BLOSUM62[
+            query[q_pos : q_pos + word_size], subject[s_pos : s_pos + word_size]
+        ].sum()
+    )
+    # Extend right.
+    best = running = seed_score
+    best_right = 0
+    i = 0
+    while True:
+        qi, si = q_pos + word_size + i, s_pos + word_size + i
+        if qi >= len(query) or si >= len(subject):
+            break
+        running += int(_BLOSUM62[query[qi], subject[si]])
+        i += 1
+        if running > best:
+            best, best_right = running, i
+        elif best - running > xdrop:
+            break
+    # Extend left.
+    running = best
+    best_left = 0
+    i = 0
+    while True:
+        qi, si = q_pos - 1 - i, s_pos - 1 - i
+        if qi < 0 or si < 0:
+            break
+        running += int(_BLOSUM62[query[qi], subject[si]])
+        i += 1
+        if running > best:
+            best, best_left = running, i
+        elif best - running > xdrop:
+            break
+    q_start = q_pos - best_left
+    s_start = s_pos - best_left
+    q_end = q_pos + word_size + best_right
+    s_end = s_pos + word_size + best_right
+    return q_start, q_end, s_start, s_end, best
+
+
+def _banded_sw(
+    query: np.ndarray,
+    subject: np.ndarray,
+    diagonal: int,
+    params: BlastParams,
+) -> tuple[float, int, int, int, int, int, int]:
+    """Banded Smith-Waterman around ``diagonal`` (= q_pos - s_pos).
+
+    Returns (score, q_start, q_end, s_start, s_end, matches, align_len).
+    Coordinates are 0-based, ends exclusive.
+
+    Scalar DP over plain Python lists: at band width ~33 the per-row
+    NumPy dispatch overhead beats any vectorization win (measured), so
+    the kernel instead avoids per-cell ndarray indexing by pre-listing
+    the sequences and the substitution rows.
+    """
+    band = params.band_width
+    m, n = len(query), len(subject)
+    lo_d = diagonal - band
+    width = 2 * band + 1
+    neg = -1e18
+    gap = params.gap_penalty
+
+    query_list = query.tolist()
+    subject_list = subject.tolist()
+
+    zeros_f = [0.0] * width
+    zeros_i = [0] * width
+    prev_score = list(zeros_f)
+    prev_start_q = list(zeros_i)
+    prev_start_s = list(zeros_i)
+    prev_match = list(zeros_i)
+    prev_len = list(zeros_i)
+
+    best = 0.0
+    best_cell = (0, 0)
+    best_info = (0, 0, 0, 0)  # q_start, s_start, matches, length
+
+    for j in range(n):
+        s_res = subject_list[j]
+        blosum_row = _BLOSUM62_LISTS[s_res]
+        score = [neg] * width
+        start_q = list(zeros_i)
+        start_s = list(zeros_i)
+        match = list(zeros_i)
+        length = list(zeros_i)
+        base = j + lo_d
+        w_lo = max(0, -base)
+        w_hi = min(width, m - base)
+        for w in range(w_lo, w_hi):
+            i = base + w
+            q_res = query_list[i]
+            sub = blosum_row[q_res]
+            is_match = 1 if q_res == s_res else 0
+            # Diagonal move (same w, previous j); restart if source dead.
+            p_score = prev_score[w]
+            if p_score <= 0.0 or prev_len[w] == 0:
+                c_score = float(sub)
+                c_q, c_s = i, j
+                c_match = is_match
+                c_len = 1
+            else:
+                c_score = p_score + sub
+                c_q = prev_start_q[w]
+                c_s = prev_start_s[w]
+                c_match = prev_match[w] + is_match
+                c_len = prev_len[w] + 1
+            # Gap in subject (w-1, same row).
+            if w > w_lo:
+                up = score[w - 1] - gap
+                if up > c_score:
+                    c_score = up
+                    c_q = start_q[w - 1]
+                    c_s = start_s[w - 1]
+                    c_match = match[w - 1]
+                    c_len = length[w - 1] + 1
+            # Gap in query (w+1, previous row).
+            if w + 1 < width:
+                left = prev_score[w + 1] - gap
+                if left > c_score and prev_len[w + 1] > 0:
+                    c_score = left
+                    c_q = prev_start_q[w + 1]
+                    c_s = prev_start_s[w + 1]
+                    c_match = prev_match[w + 1]
+                    c_len = prev_len[w + 1] + 1
+            if c_score < 0:
+                continue  # local restart; cell stays dead (neg)
+            score[w] = c_score
+            start_q[w] = c_q
+            start_s[w] = c_s
+            match[w] = c_match
+            length[w] = c_len
+            if c_score > best:
+                best = c_score
+                best_cell = (i + 1, j + 1)
+                best_info = (c_q, c_s, c_match, c_len)
+        prev_score = score
+        prev_start_q = start_q
+        prev_start_s = start_s
+        prev_match = match
+        prev_len = length
+
+    q_start, s_start, matches, align_len = best_info
+    q_end, s_end = best_cell
+    return best, q_start, q_end, s_start, s_end, matches, align_len
+
+
+def _evalue(raw_score: float, query_len: int, db_residues: int) -> tuple[float, float]:
+    """Karlin-Altschul bit score and e-value."""
+    bit = (_KA_LAMBDA * raw_score - float(np.log(_KA_K))) / _LN2
+    evalue = _KA_K * query_len * db_residues * float(
+        np.exp(-_KA_LAMBDA * raw_score)
+    )
+    return bit, evalue
+
+
+def _search_one(
+    query: FastaRecord, db: BlastDatabase, params: BlastParams
+) -> list[BlastHit]:
+    """Full pipeline for a single query."""
+    enc = _encode(query.seq)
+    k = params.word_size
+    if len(enc) < k:
+        return []
+    # Stage 1+2: word hits grouped per (subject, diagonal); two-hit check.
+    probes = _query_words(enc, params)
+    by_diag: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for q_pos, word in probes:
+        for s_idx, s_pos in db.index.get(word, ()):
+            by_diag.setdefault((s_idx, q_pos - s_pos), []).append((q_pos, s_pos))
+
+    # Stage 3: ungapped X-drop extension of triggered diagonals; keep,
+    # per subject, the best-scoring ungapped HSP.  Stage 4 (gapped,
+    # expensive) then runs once per subject around that HSP's diagonal —
+    # the classic BLAST strategy of gapping only the best seed.
+    best_ungapped: dict[int, tuple[float, int]] = {}  # s_idx -> (score, diag)
+    for (s_idx, diagonal), seeds in by_diag.items():
+        seeds.sort()
+        trigger = None
+        if len(seeds) == 1:
+            # Single-hit fallback for very short queries only.
+            if len(enc) <= 2 * params.two_hit_window:
+                trigger = seeds[0]
+        else:
+            for (q1, s1), (q2, s2) in zip(seeds, seeds[1:]):
+                if 0 < q2 - q1 <= params.two_hit_window:
+                    trigger = (q1, s1)
+                    break
+        if trigger is None:
+            continue
+        subject = db.encoded[s_idx]
+        q_pos, s_pos = trigger
+        ung = _ungapped_extend(
+            enc, subject, q_pos, s_pos, k, params.xdrop_ungapped
+        )
+        if ung[4] < params.min_ungapped_score:
+            continue
+        current = best_ungapped.get(s_idx)
+        if current is None or ung[4] > current[0]:
+            best_ungapped[s_idx] = (ung[4], diagonal)
+
+    hits: list[BlastHit] = []
+    for s_idx, (_, diagonal) in best_ungapped.items():
+        subject = db.encoded[s_idx]
+        score, q_start, q_end, s_start, s_end, matches, align_len = _banded_sw(
+            enc, subject, diagonal, params
+        )
+        if align_len == 0:
+            continue
+        bit, evalue = _evalue(score, len(enc), db.total_residues)
+        if evalue > params.max_evalue:
+            continue
+        hits.append(
+            BlastHit(
+                query_id=query.id,
+                subject_id=db.ids[s_idx],
+                raw_score=score,
+                bit_score=bit,
+                evalue=evalue,
+                identity=matches / align_len,
+                align_length=align_len,
+                query_start=q_start,
+                query_end=q_end,
+                subject_start=s_start,
+                subject_end=s_end,
+            )
+        )
+    return sorted(hits, key=lambda h: (-h.raw_score, h.subject_id))
+
+
+def blast_search(
+    queries: list[FastaRecord],
+    db: BlastDatabase,
+    params: BlastParams | None = None,
+    num_threads: int = 1,
+) -> dict[str, list[BlastHit]]:
+    """Search every query against ``db``.
+
+    Returns ``{query id: hits}`` preserving per-query hit order.  With
+    ``num_threads > 1`` queries are distributed over a thread pool —
+    the in-process analogue of ``blastp -num_threads``.
+    """
+    params = params or BlastParams()
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    if num_threads == 1 or len(queries) <= 1:
+        return {q.id: _search_one(q, db, params) for q in queries}
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        results = list(pool.map(lambda q: _search_one(q, db, params), queries))
+    return {q.id: r for q, r in zip(queries, results)}

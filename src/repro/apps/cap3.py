@@ -1,0 +1,502 @@
+"""A miniature CAP3-style DNA sequence assembler.
+
+Implements the pipeline the paper describes for CAP3 (Huang & Madan 1999)
+at reduced scale but with every stage real:
+
+1. **poor-region trimming** — clip low-quality ends (``N`` runs and
+   lowercase bases, the conventional soft-mask for poor quality);
+2. **overlap computation** — k-mer seeded suffix/prefix overlap detection
+   between all read pairs, verified by vectorized identity scoring;
+3. **false-overlap removal** — overlaps below the identity/score
+   thresholds are rejected;
+4. **layout** — greedy merging of the highest-scoring overlaps into
+   read chains (contigs), avoiding branches and cycles; contained reads
+   attach inside their container;
+5. **consensus** — per-column majority vote over the layout produces the
+   contig sequence.
+
+The run time is genuinely content-dependent (overlap-dense files take
+longer), which is exactly the inhomogeneity property the paper's
+load-balancing experiments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.fasta import FastaRecord
+
+__all__ = [
+    "AssemblyResult",
+    "Cap3Params",
+    "Contig",
+    "Overlap",
+    "assemble",
+    "reverse_complement",
+    "trim_read",
+]
+
+_BASES = "ACGTN"
+_BASE_INDEX = {base: i for i, base in enumerate(_BASES)}
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+# Byte-level complement table for encoded arrays.
+_COMPLEMENT_BYTES = np.arange(256, dtype=np.uint8)
+for _src, _dst in zip(b"ACGTN", b"TGCAN"):
+    _COMPLEMENT_BYTES[_src] = _dst
+
+
+def reverse_complement(seq: str) -> str:
+    """The reverse complement of a DNA sequence (N maps to N)."""
+    return seq.translate(_COMPLEMENT)[::-1]
+
+
+def _rc_array(arr: np.ndarray) -> np.ndarray:
+    """Reverse complement of an encoded read."""
+    return _COMPLEMENT_BYTES[arr][::-1]
+
+
+@dataclass(frozen=True)
+class Cap3Params:
+    """Assembly thresholds (defaults loosely follow CAP3's)."""
+
+    min_overlap: int = 30
+    min_identity: float = 0.9
+    kmer_size: int = 12
+    seed_stride: int = 8  # spacing of seed probes along a read prefix
+    max_seed_span: int = 64  # how deep into the prefix we look for seeds
+    min_read_length: int = 40
+    mismatch_penalty: float = 2.0
+    handle_reverse_complements: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_overlap < self.kmer_size:
+            raise ValueError("min_overlap must be >= kmer_size")
+        if not 0.5 <= self.min_identity <= 1.0:
+            raise ValueError("min_identity must be in [0.5, 1.0]")
+        if self.kmer_size < 4:
+            raise ValueError("kmer_size must be >= 4")
+        if self.seed_stride < 1:
+            raise ValueError("seed_stride must be >= 1")
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """A validated alignment of read ``b`` against read ``a``.
+
+    ``a_start`` is the position in ``a`` where ``b`` begins.  When
+    ``contained`` is True the whole of ``b`` lies within ``a``;
+    otherwise this is a proper suffix(a)/prefix(b) overlap of
+    ``length`` bases.
+    """
+
+    a: int
+    b: int
+    a_start: int
+    length: int
+    identity: float
+    score: float
+    contained: bool = False
+
+
+@dataclass
+class Contig:
+    """An assembled contig: consensus plus its read layout.
+
+    ``strands`` records each read's orientation in the layout: ``'+'``
+    (as given) or ``'-'`` (reverse-complemented before placement).
+    ``coverage`` is the per-consensus-position read depth.
+    """
+
+    id: str
+    seq: str
+    reads: list[tuple[str, int]] = field(default_factory=list)  # (read id, offset)
+    strands: dict[str, str] = field(default_factory=dict)
+    coverage: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int32))
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def mean_coverage(self) -> float:
+        """Average read depth over the consensus (0.0 if empty)."""
+        return float(self.coverage.mean()) if len(self.coverage) else 0.0
+
+    def min_coverage(self) -> int:
+        """Weakest-link depth — 1 flags unconfirmed single-read spans."""
+        return int(self.coverage.min()) if len(self.coverage) else 0
+
+
+@dataclass
+class AssemblyResult:
+    """Output of :func:`assemble`."""
+
+    contigs: list[Contig]
+    singletons: list[FastaRecord]
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n50(self) -> int:
+        """Contig N50 (0 when there are no contigs)."""
+        lengths = sorted((len(c) for c in self.contigs), reverse=True)
+        if not lengths:
+            return 0
+        half = sum(lengths) / 2.0
+        acc = 0
+        for length in lengths:
+            acc += length
+            if acc >= half:
+                return length
+        return lengths[-1]
+
+
+def trim_read(record: FastaRecord, min_length: int) -> FastaRecord | None:
+    """Clip poor-quality ends; return None if too little survives.
+
+    Poor quality is marked as ``N`` bases or lowercase (soft-masked)
+    bases at either end of the read.  Interior soft-masked bases are
+    uppercased and kept, matching CAP3's treatment of marginal calls;
+    interior non-ACGT characters become ``N``.
+    """
+    seq = record.seq
+    start, end = 0, len(seq)
+    while start < end and (seq[start] in "Nn" or seq[start].islower()):
+        start += 1
+    while end > start and (seq[end - 1] in "Nn" or seq[end - 1].islower()):
+        end -= 1
+    trimmed = seq[start:end].upper()
+    if len(trimmed) < min_length:
+        return None
+    if any(base not in _BASE_INDEX for base in trimmed):
+        trimmed = "".join(
+            base if base in _BASE_INDEX else "N" for base in trimmed
+        )
+    return FastaRecord(id=record.id, seq=trimmed, description=record.description)
+
+
+def _encode(seq: str) -> np.ndarray:
+    """Sequence as a byte array for vectorized comparisons."""
+    return np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+
+
+def _verify_overlap(
+    a_idx: int,
+    b_idx: int,
+    a_arr: np.ndarray,
+    b_arr: np.ndarray,
+    a_start: int,
+    params: Cap3Params,
+) -> Overlap | None:
+    """Score the alignment of ``b`` against ``a`` starting at ``a_start``."""
+    length = min(len(a_arr) - a_start, len(b_arr))
+    if length < params.min_overlap:
+        return None
+    a_slice = a_arr[a_start : a_start + length]
+    b_slice = b_arr[:length]
+    matches = int((a_slice == b_slice).sum())
+    identity = matches / length
+    if identity < params.min_identity:
+        return None
+    mismatches = length - matches
+    score = matches - params.mismatch_penalty * mismatches
+    contained = (a_start + len(b_arr)) <= len(a_arr)
+    return Overlap(
+        a=a_idx,
+        b=b_idx,
+        a_start=a_start,
+        length=length,
+        identity=identity,
+        score=score,
+        contained=contained,
+    )
+
+
+def _find_overlaps(
+    arrays: list[np.ndarray], params: Cap3Params
+) -> tuple[list[Overlap], int]:
+    """All accepted pairwise overlaps via k-mer seeding.
+
+    Returns the best overlap per ordered read pair and the number of
+    candidate placements examined (a work measure the performance-model
+    calibration uses).
+    """
+    k = params.kmer_size
+    index: dict[bytes, list[tuple[int, int]]] = {}
+    for read_idx, arr in enumerate(arrays):
+        seq_bytes = arr.tobytes()
+        for pos in range(0, len(seq_bytes) - k + 1):
+            index.setdefault(seq_bytes[pos : pos + k], []).append((read_idx, pos))
+
+    candidates = 0
+    best: dict[tuple[int, int], Overlap] = {}
+    for b_idx, b_arr in enumerate(arrays):
+        b_bytes = b_arr.tobytes()
+        span = max(0, min(params.max_seed_span, len(b_bytes) - k + 1))
+        probed: set[tuple[int, int]] = set()
+        for s in range(0, span, params.seed_stride):
+            seed = b_bytes[s : s + k]
+            for a_idx, a_pos in index.get(seed, ()):
+                if a_idx == b_idx:
+                    continue
+                # A seed at b[s] matching a[a_pos] implies b begins at
+                # a-coordinate a_pos - s.
+                a_start = a_pos - s
+                if a_start < 0:
+                    continue
+                key = (a_idx, a_start)
+                if key in probed:
+                    continue
+                probed.add(key)
+                candidates += 1
+                overlap = _verify_overlap(
+                    a_idx, b_idx, arrays[a_idx], b_arr, a_start, params
+                )
+                if overlap is None:
+                    continue
+                pair = (a_idx, b_idx)
+                existing = best.get(pair)
+                if existing is None or overlap.score > existing.score:
+                    best[pair] = overlap
+    return list(best.values()), candidates
+
+
+def _orientation_edges(
+    arrays: list[np.ndarray], params: Cap3Params
+) -> list[tuple[int, int, bool]]:
+    """Pairwise orientation constraints from both-strand seeding.
+
+    Probes each read's prefix in forward *and* reverse-complement
+    orientation against the forward index; an accepted placement yields
+    an edge ``(a, b, same_orientation)``.
+    """
+    k = params.kmer_size
+    index: dict[bytes, list[tuple[int, int]]] = {}
+    for read_idx, arr in enumerate(arrays):
+        seq_bytes = arr.tobytes()
+        for pos in range(0, len(seq_bytes) - k + 1):
+            index.setdefault(seq_bytes[pos : pos + k], []).append((read_idx, pos))
+
+    edges: list[tuple[int, int, bool]] = []
+    for b_idx, b_fwd in enumerate(arrays):
+        for same, b_arr in ((True, b_fwd), (False, _rc_array(b_fwd))):
+            b_bytes = b_arr.tobytes()
+            span = max(0, min(params.max_seed_span, len(b_bytes) - k + 1))
+            probed: set[tuple[int, int]] = set()
+            for s in range(0, span, params.seed_stride):
+                seed = b_bytes[s : s + k]
+                for a_idx, a_pos in index.get(seed, ()):
+                    if a_idx == b_idx:
+                        continue
+                    a_start = a_pos - s
+                    key = (a_idx, a_start)
+                    if key in probed:
+                        continue
+                    probed.add(key)
+                    if a_start >= 0:
+                        overlap = _verify_overlap(
+                            a_idx, b_idx, arrays[a_idx], b_arr, a_start, params
+                        )
+                    else:
+                        # b (in this orientation) starts before a: verify
+                        # with the roles swapped — suffix(b) vs prefix(a).
+                        overlap = _verify_overlap(
+                            b_idx, a_idx, b_arr, arrays[a_idx], -a_start, params
+                        )
+                    if overlap is not None:
+                        edges.append((a_idx, b_idx, same))
+    return edges
+
+
+def _resolve_orientations(
+    n_reads: int, edges: list[tuple[int, int, bool]]
+) -> tuple[list[bool], int]:
+    """2-colour the parity graph: flip[i] says read i should be
+    reverse-complemented.  Conflicting edges (odd cycles from chimeric
+    overlaps) are counted and ignored."""
+    adjacency: dict[int, list[tuple[int, bool]]] = {}
+    for a, b, same in edges:
+        adjacency.setdefault(a, []).append((b, same))
+        adjacency.setdefault(b, []).append((a, same))
+    flip = [False] * n_reads
+    visited = [False] * n_reads
+    conflicts = 0
+    for start in range(n_reads):
+        if visited[start]:
+            continue
+        visited[start] = True
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour, same in adjacency.get(node, ()):  # noqa: B023
+                wanted = flip[node] if same else not flip[node]
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    flip[neighbour] = wanted
+                    frontier.append(neighbour)
+                elif flip[neighbour] != wanted:
+                    conflicts += 1
+    return flip, conflicts
+
+
+def _greedy_layout(
+    read_lengths: list[int], overlaps: list[Overlap]
+) -> tuple[list[list[tuple[int, int]]], set[int]]:
+    """Chain reads through their best overlaps.
+
+    Returns ``(chains, used)``: each chain is a list of ``(read index,
+    offset)`` in layout coordinates, and ``used`` is the set of placed
+    read indices (including contained reads attached in a second pass).
+    """
+    n_reads = len(read_lengths)
+    ranked = sorted(overlaps, key=lambda o: (-o.score, o.a, o.b))
+
+    right_of: dict[int, tuple[int, int]] = {}  # a -> (b, a_start of b)
+    left_taken: set[int] = set()
+    parent = list(range(n_reads))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for ov in ranked:
+        if ov.contained:
+            continue
+        if ov.a in right_of or ov.b in left_taken:
+            continue
+        if find(ov.a) == find(ov.b):
+            continue  # would close a cycle
+        right_of[ov.a] = (ov.b, ov.a_start)
+        left_taken.add(ov.b)
+        parent[find(ov.a)] = find(ov.b)
+
+    chains: list[list[tuple[int, int]]] = []
+    used: set[int] = set()
+    offsets: dict[int, int] = {}
+    chain_of: dict[int, int] = {}
+    for head in range(n_reads):
+        if head in left_taken or head not in right_of:
+            continue
+        chain: list[tuple[int, int]] = []
+        offset = 0
+        current: int | None = head
+        while current is not None:
+            chain.append((current, offset))
+            used.add(current)
+            offsets[current] = offset
+            chain_of[current] = len(chains)
+            nxt = right_of.get(current)
+            if nxt is None:
+                break
+            successor, a_start = nxt
+            offset += a_start
+            current = successor
+        chains.append(chain)
+
+    # Second pass: attach contained reads inside their container.  A
+    # container that joined no chain (e.g. identical duplicate reads,
+    # pure-containment clusters) starts a fresh single-read chain first.
+    for ov in ranked:
+        if not ov.contained or ov.b in used:
+            continue
+        if ov.a not in used:
+            if ov.a in left_taken or ov.a in right_of:
+                continue  # shouldn't happen, but never split a chain
+            chains.append([(ov.a, 0)])
+            used.add(ov.a)
+            offsets[ov.a] = 0
+            chain_of[ov.a] = len(chains) - 1
+        b_offset = offsets[ov.a] + ov.a_start
+        chains[chain_of[ov.a]].append((ov.b, b_offset))
+        used.add(ov.b)
+        offsets[ov.b] = b_offset
+        chain_of[ov.b] = chain_of[ov.a]
+    return chains, used
+
+
+def _consensus(
+    chain: list[tuple[int, int]], arrays: list[np.ndarray]
+) -> tuple[str, np.ndarray]:
+    """Majority vote per column; returns (consensus, coverage depth)."""
+    total_len = max(offset + len(arrays[idx]) for idx, offset in chain)
+    counts = np.zeros((total_len, len(_BASES)), dtype=np.int32)
+    base_lookup = np.full(256, _BASE_INDEX["N"], dtype=np.int64)
+    for base, i in _BASE_INDEX.items():
+        base_lookup[ord(base)] = i
+    coverage = np.zeros(total_len, dtype=np.int32)
+    for idx, offset in chain:
+        arr = arrays[idx]
+        codes = base_lookup[arr]
+        np.add.at(counts, (np.arange(offset, offset + len(arr)), codes), 1)
+        coverage[offset : offset + len(arr)] += 1
+    # Real bases out-vote N wherever any read has coverage.
+    counts[:, _BASE_INDEX["N"]] -= 1
+    winners = counts.argmax(axis=1)
+    return "".join(_BASES[w] for w in winners), coverage
+
+
+def assemble(
+    records: list[FastaRecord], params: Cap3Params | None = None
+) -> AssemblyResult:
+    """Assemble ``records`` into contigs.
+
+    The full CAP3-style pipeline: trim, overlap, filter, layout,
+    consensus.  Reads that join no contig are returned as singletons.
+    """
+    params = params or Cap3Params()
+    stats: dict[str, float] = {"reads_in": len(records)}
+
+    trimmed: list[FastaRecord] = []
+    dropped = 0
+    for record in records:
+        kept = trim_read(record, params.min_read_length)
+        if kept is None:
+            dropped += 1
+        else:
+            trimmed.append(kept)
+    stats["reads_dropped_in_trim"] = dropped
+    stats["reads_after_trim"] = len(trimmed)
+
+    arrays = [_encode(r.seq) for r in trimmed]
+
+    # Orientation resolution: shotgun reads arrive on both strands.  A
+    # 2-colouring of the overlap parity graph flips reads into one
+    # consistent orientation before the forward-only pipeline runs.
+    flips = [False] * len(arrays)
+    if params.handle_reverse_complements and arrays:
+        edges = _orientation_edges(arrays, params)
+        flips, conflicts = _resolve_orientations(len(arrays), edges)
+        stats["orientation_conflicts"] = conflicts
+        stats["reads_flipped"] = sum(flips)
+        arrays = [
+            _rc_array(arr) if flipped else arr
+            for arr, flipped in zip(arrays, flips)
+        ]
+
+    overlaps, candidates = _find_overlaps(arrays, params)
+    stats["overlap_candidates"] = candidates
+    stats["overlaps_accepted"] = len(overlaps)
+
+    chains, used = _greedy_layout([len(a) for a in arrays], overlaps)
+
+    contigs: list[Contig] = []
+    for n, chain in enumerate(chains, start=1):
+        seq, coverage = _consensus(chain, arrays)
+        contigs.append(
+            Contig(
+                id=f"Contig{n}",
+                seq=seq,
+                reads=[(trimmed[idx].id, offset) for idx, offset in chain],
+                strands={
+                    trimmed[idx].id: "-" if flips[idx] else "+"
+                    for idx, _ in chain
+                },
+                coverage=coverage,
+            )
+        )
+    singletons = [trimmed[i] for i in range(len(trimmed)) if i not in used]
+    stats["contigs"] = len(contigs)
+    stats["singletons"] = len(singletons)
+    stats["contig_bases"] = sum(len(c) for c in contigs)
+    return AssemblyResult(contigs=contigs, singletons=singletons, stats=stats)

@@ -1,0 +1,164 @@
+"""FASTQ reading/writing and quality-aware trimming.
+
+Real CAP3 consumes base-quality files alongside FASTA; modern pipelines
+ship FASTQ.  This module supports both: FASTQ parsing/writing (Sanger
+Phred+33 encoding) and the standard sliding-window quality trim, which
+converts a quality-scored read into the plain record the assembler's
+pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+import numpy as np
+
+from repro.apps.fasta import FastaRecord
+
+__all__ = [
+    "FastqRecord",
+    "parse_fastq",
+    "quality_trim",
+    "read_fastq",
+    "write_fastq",
+]
+
+_PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One sequenced read with per-base Phred qualities."""
+
+    id: str
+    seq: str
+    qualities: tuple[int, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("FASTQ record needs a non-empty id")
+        if len(self.qualities) != len(self.seq):
+            raise ValueError(
+                f"{self.id!r}: {len(self.qualities)} qualities for "
+                f"{len(self.seq)} bases"
+            )
+        if any(q < 0 or q > 93 for q in self.qualities):
+            raise ValueError("Phred qualities must be in 0..93")
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    @property
+    def quality_string(self) -> str:
+        """Phred+33 encoded quality line."""
+        return "".join(chr(q + _PHRED_OFFSET) for q in self.qualities)
+
+    def mean_quality(self) -> float:
+        """Average Phred score (0.0 for empty reads)."""
+        return float(np.mean(self.qualities)) if self.qualities else 0.0
+
+    def to_fasta(self) -> FastaRecord:
+        """Drop qualities."""
+        return FastaRecord(id=self.id, seq=self.seq, description=self.description)
+
+
+def parse_fastq(stream: TextIO) -> Iterator[FastqRecord]:
+    """Yield records from an open FASTQ text stream.
+
+    Strict four-line records: ``@header``, sequence, ``+``, qualities.
+    """
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.strip()
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"expected '@' header, got {header[:20]!r}")
+        seq = stream.readline().strip()
+        plus = stream.readline().strip()
+        quals = stream.readline().strip()
+        if not plus.startswith("+"):
+            raise ValueError(f"expected '+' separator for {header!r}")
+        if len(quals) != len(seq):
+            raise ValueError(
+                f"quality length {len(quals)} != sequence length "
+                f"{len(seq)} for {header!r}"
+            )
+        parts = header[1:].split(None, 1)
+        yield FastqRecord(
+            id=parts[0],
+            seq=seq,
+            qualities=tuple(ord(c) - _PHRED_OFFSET for c in quals),
+            description=parts[1] if len(parts) > 1 else "",
+        )
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Read every record from a FASTQ file."""
+    with open(path, "r", encoding="ascii") as handle:
+        return list(parse_fastq(handle))
+
+
+def write_fastq(
+    records: Iterable[FastqRecord], path: str | Path | None = None
+) -> str:
+    """Write records in FASTQ format; returns (and optionally saves) text."""
+    buffer = io.StringIO()
+    for record in records:
+        header = f"{record.id} {record.description}".strip()
+        buffer.write(f"@{header}\n{record.seq}\n+\n{record.quality_string}\n")
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="ascii")
+    return text
+
+
+def quality_trim(
+    record: FastqRecord,
+    threshold: int = 20,
+    window: int = 5,
+    min_length: int = 40,
+) -> FastaRecord | None:
+    """Sliding-window quality trim; None if too little survives.
+
+    From each end, drop bases while the mean quality of the ``window``
+    at that end is below ``threshold`` — the standard read-cleaning
+    procedure (e.g. Trimmomatic's SLIDINGWINDOW applied from both ends).
+    The survivor is returned as a plain :class:`FastaRecord` for the
+    assembler.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not 0 <= threshold <= 93:
+        raise ValueError("threshold must be a Phred score in 0..93")
+    quals = np.asarray(record.qualities, dtype=np.float64)
+    start, end = 0, len(quals)
+    while start < end:
+        segment = quals[start : min(start + window, end)]
+        if segment.mean() >= threshold:
+            break
+        start += 1
+    while end > start:
+        segment = quals[max(end - window, start) : end]
+        if segment.mean() >= threshold:
+            break
+        end -= 1
+    # The window mean can stop with a couple of bad boundary bases left;
+    # clean them up per base.
+    while start < end and quals[start] < threshold:
+        start += 1
+    while end > start and quals[end - 1] < threshold:
+        end -= 1
+    if end - start < min_length:
+        return None
+    return FastaRecord(
+        id=record.id,
+        seq=record.seq[start:end].upper(),
+        description=record.description,
+    )

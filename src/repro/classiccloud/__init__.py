@@ -1,0 +1,37 @@
+"""The paper's Classic Cloud processing model (Figure 1).
+
+A task-processing pipeline with independent workers built from cloud
+infrastructure services:
+
+* a **scheduling queue** (SQS / Azure Queue) holds one message per task;
+* **worker processes** on cloud instances pick tasks, download the input
+  file from **cloud storage** (S3 / Azure Blob), run the executable,
+  upload the result, and only then delete the message;
+* the **visibility timeout** provides fault tolerance: an unfinished
+  task's message reappears and is re-executed — safe because tasks are
+  idempotent;
+* a **monitoring queue** reports completions back to the client.
+
+Two implementations share the architecture:
+
+* :class:`~repro.classiccloud.framework.ClassicCloudFramework` — runs on
+  the simulated cloud substrate for paper-scale experiments;
+* :class:`~repro.classiccloud.local.LocalClassicCloud` — runs real
+  executables on local threads against a directory-backed store and a
+  visibility-timeout queue, proving the framework logic end to end.
+"""
+
+from repro.classiccloud.framework import (
+    ClassicCloudConfig,
+    ClassicCloudFramework,
+    LocalAugmentation,
+)
+from repro.classiccloud.local import LocalClassicCloud, LocalQueue
+
+__all__ = [
+    "ClassicCloudConfig",
+    "ClassicCloudFramework",
+    "LocalAugmentation",
+    "LocalClassicCloud",
+    "LocalQueue",
+]

@@ -1,0 +1,561 @@
+"""Simulated Classic Cloud framework (EC2 / Azure).
+
+Plays the paper's Figure 1 architecture on the discrete-event cloud
+substrate: provisions instances, stages inputs into blob storage, fills
+the scheduling queue, runs polling workers, and reports makespan, cost
+and per-task traces.
+
+Timing follows the paper's methodology: provisioning and application
+preload (e.g. the BLAST database download) happen before the measured
+window; "it is assumed that the data was already present in the
+framework's preferred storage location", so input staging is metered for
+cost but not for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.perfmodels import task_runtime_seconds
+from repro.cloud.billing import CostMeter
+from repro.cloud.compute import CloudProvider, VmInstance
+from repro.cloud.failures import FaultPlan
+from repro.cloud.instance_types import (
+    InstanceType,
+    MachineModel,
+    get_instance_type,
+)
+from repro.cloud.pricing import AWS_PRICES, AZURE_PRICES
+from repro.cloud.queue import MessageQueue, StaleReceiptError
+from repro.cloud.storage import BlobNotFound, BlobStore
+from repro.core.application import Application
+from repro.core.task import RunResult, TaskRecord, TaskSpec
+from repro.sim.engine import Environment, Interrupt
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ClassicCloudConfig", "ClassicCloudFramework", "LocalAugmentation"]
+
+
+@dataclass(frozen=True)
+class LocalAugmentation:
+    """On-premise workers joining the cloud job (paper Section 2.1.3).
+
+    "One can start workers in computers outside of the cloud to augment
+    compute capacity" — they poll the same scheduling queue but reach
+    cloud storage over a WAN, so data-heavy tasks benefit less (the
+    paper's caveat about the data living in the cloud).
+    """
+
+    n_workers: int
+    machine: MachineModel = MachineModel(
+        cores=8, clock_ghz=2.33, memory_gb=16.0, mem_bandwidth_gbps=10.6
+    )
+    wan_bandwidth_mbps: float = 10.0  # megaBITS/s — a 2010 site uplink
+    wan_latency_s: float = 0.080
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_workers <= self.machine.cores:
+            raise ValueError(
+                f"n_workers must be in 1..{self.machine.cores}"
+            )
+        if self.wan_bandwidth_mbps <= 0 or self.wan_latency_s < 0:
+            raise ValueError("WAN parameters must be positive")
+
+
+class _LocalHost:
+    """A non-billed execution host for augmentation workers."""
+
+    def __init__(self, machine: MachineModel):
+        self.machine = machine
+
+    def effective_clock_ghz(self) -> float:
+        return self.machine.clock_ghz
+
+    @property
+    def is_running(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ClassicCloudConfig:
+    """One deployment shape: 'HCXL - 2 x 8' in the paper's axis labels."""
+
+    provider: str  # "aws" or "azure"
+    instance_type: str  # catalog name
+    n_instances: int
+    workers_per_instance: int
+    threads_per_worker: int = 1
+    visibility_timeout_s: float | None = None  # None: auto from perf model
+    poll_backoff_s: float = 1.0
+    seed: int = 0
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    consistency_window_s: float = 1.0
+    max_sim_seconds: float = 10_000_000.0  # watchdog: fail runs that hang
+    perf_jitter: float | None = None  # None: provider default (1.56%/2.25%)
+    local_augmentation: LocalAugmentation | None = None
+    # Dead-letter redrive: tasks received more than this many times
+    # without completion are quarantined instead of redelivered forever.
+    # None disables the policy (the paper's unbounded behaviour).
+    max_task_attempts: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1 or self.workers_per_instance < 1:
+            raise ValueError("instances and workers must be >= 1")
+        if self.threads_per_worker < 1:
+            raise ValueError("threads_per_worker must be >= 1")
+        itype = self.resolve_instance_type()
+        slots = self.workers_per_instance * self.threads_per_worker
+        if slots > itype.machine.cores:
+            raise ValueError(
+                f"{self.workers_per_instance} workers x "
+                f"{self.threads_per_worker} threads exceed the "
+                f"{itype.machine.cores} cores of {itype.name}"
+            )
+
+    def resolve_instance_type(self) -> InstanceType:
+        return get_instance_type(self.provider, self.instance_type)
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_instances * self.resolve_instance_type().machine.cores
+
+    @property
+    def total_workers(self) -> int:
+        return self.n_instances * self.workers_per_instance
+
+    @property
+    def label(self) -> str:
+        """The paper's axis format: 'HCXL - 2 x 8'."""
+        return (
+            f"{self.instance_type} - {self.n_instances} x "
+            f"{self.workers_per_instance}"
+        )
+
+
+class ClassicCloudFramework:
+    """Run an application over tasks on the simulated cloud."""
+
+    def __init__(self, config: ClassicCloudConfig):
+        self.config = config
+
+    # -- public API --------------------------------------------------------
+    def run(self, app: Application, tasks: list[TaskSpec]) -> RunResult:
+        """Execute ``tasks`` and return the measured result."""
+        if not tasks:
+            raise ValueError("no tasks to run")
+        run = _SimRun(self.config, app, tasks)
+        return run.execute()
+
+    def estimate_sequential_time(
+        self, app: Application, tasks: list[TaskSpec]
+    ) -> float:
+        """T1 for Equation 1: one worker, inputs on local disk.
+
+        Uses the same machine model with a single uncontended worker and
+        no cloud service overheads, matching the paper's measurement of
+        sequential time "having the input files present in the local
+        disks, avoiding the data transfers".
+        """
+        machine = self.config.resolve_instance_type().machine
+        return sum(
+            task_runtime_seconds(
+                app.perf_model,
+                t.work_units,
+                machine,
+                concurrent_workers=1,
+                threads=1,
+            )
+            for t in tasks
+        )
+
+
+class _SimRun:
+    """One execution: wires the substrate together and plays it out."""
+
+    def __init__(
+        self, config: ClassicCloudConfig, app: Application, tasks: list[TaskSpec]
+    ):
+        self.config = config
+        self.app = app
+        self.tasks = tasks
+        self.env = Environment()
+        self.rng = RngRegistry(config.seed)
+        prices = AWS_PRICES if config.provider == "aws" else AZURE_PRICES
+        self.meter = CostMeter(prices)
+        self.cloud = CloudProvider(
+            self.env,
+            config.provider,
+            self.rng.stream("provision"),
+            meter=self.meter,
+            perf_jitter=config.perf_jitter,
+        )
+        self.storage = BlobStore(
+            self.env,
+            "storage",
+            self.rng.stream("storage"),
+            meter=self.meter,
+            consistency_window_s=config.consistency_window_s,
+            error_rate=config.fault_plan.storage_error_rate,
+        )
+        self.dead_letter_queue: MessageQueue | None = None
+        if config.max_task_attempts is not None:
+            self.dead_letter_queue = MessageQueue(
+                self.env,
+                "tasks-dlq",
+                self.rng.stream("dlq"),
+                meter=self.meter,
+                miss_probability=0.0,
+            )
+        self.task_queue = MessageQueue(
+            self.env,
+            "tasks",
+            self.rng.stream("queue"),
+            meter=self.meter,
+            visibility_timeout_s=self._visibility_timeout(),
+            miss_probability=config.fault_plan.queue_miss_probability,
+            duplicate_probability=config.fault_plan.message_duplicate_probability,
+            max_receive_count=config.max_task_attempts,
+            dead_letter_queue=self.dead_letter_queue,
+        )
+        self.monitor_queue = MessageQueue(
+            self.env,
+            "monitor",
+            self.rng.stream("monitor"),
+            meter=self.meter,
+            visibility_timeout_s=60.0,
+            miss_probability=0.0,
+        )
+        self.records: list[TaskRecord] = []
+        self.completed: set[str] = set()
+        self.measure_start = 0.0
+        self.preload_seconds = 0.0
+        self._worker_counter = 0
+        self._worker_instance: dict[int, VmInstance] = {}
+
+    def _visibility_timeout(self) -> float:
+        if self.config.visibility_timeout_s is not None:
+            return self.config.visibility_timeout_s
+        machine = self.config.resolve_instance_type().machine
+        worst = max(
+            task_runtime_seconds(
+                self.app.perf_model,
+                t.work_units,
+                machine,
+                concurrent_workers=self.config.workers_per_instance,
+                threads=self.config.threads_per_worker,
+            )
+            for t in self.tasks
+        )
+        # Headroom for download/upload and stragglers.
+        return max(60.0, 3.0 * worst)
+
+    # -- orchestration -------------------------------------------------------
+    def execute(self) -> RunResult:
+        driver = self.env.process(self._driver(), name="driver")
+        makespan = self.env.run(until=driver)
+        self.cloud.terminate_all()
+        report = self.meter.report()
+        return RunResult(
+            backend=f"classiccloud-{self.config.provider}",
+            app_name=self.app.name,
+            n_tasks=len(self.tasks),
+            makespan_seconds=makespan,
+            records=self.records,
+            billing=report,
+            extras={
+                "preload_seconds": self.preload_seconds,
+                "empty_receives": float(self.task_queue.stats.empty_receives),
+                "reappearances": float(self.task_queue.stats.reappearances),
+                "duplicate_deliveries": float(
+                    self.task_queue.stats.duplicate_deliveries
+                ),
+                "stale_deletes": float(self.task_queue.stats.stale_deletes),
+                "stale_reads": float(self.storage.stats.stale_reads),
+                "visibility_timeout_s": self.task_queue.visibility_timeout_s,
+                "dead_lettered": float(self.task_queue.stats.dead_lettered),
+            },
+            completed=set(self.completed),
+            # Disjoint from completed: a task that finished somewhere but
+            # also tripped the receive limit is a success, not a failure.
+            failed=(
+                {
+                    task.task_id
+                    for task in self.dead_letter_queue.peek_bodies()
+                }
+                - self.completed
+                if self.dead_letter_queue is not None
+                else set()
+            ),
+        )
+
+    def _driver(self):
+        config = self.config
+        itype = config.resolve_instance_type()
+        instances = yield self.env.process(
+            self.cloud.provision(itype, config.n_instances)
+        )
+        # Stage inputs: metered (storage + ingress) but, per the paper's
+        # methodology, outside the measured window and free of simulated
+        # time (data "already present in the preferred storage").
+        for task in self.tasks:
+            self.storage.stage(task.input_key, task.input_size)
+            self.meter.record_transfer(bytes_in=task.input_size)
+
+        # Preload phase (e.g. BLAST database distribution): per instance,
+        # excluded from reported compute time.
+        if self.app.preload_bytes:
+            preload_start = self.env.now
+            nic_bps = itype.machine.nic_gbps * 1e9 / 8.0
+            yield self.env.timeout(
+                self.app.preload_bytes / nic_bps
+                + self.app.preload_extract_seconds
+            )
+            self.preload_seconds = self.env.now - preload_start
+
+        self.measure_start = self.env.now
+        # Bill from the measured window: the paper excludes environment
+        # preparation (provisioning, software install, database preload)
+        # from the computation's hourly charges.
+        for instance in instances:
+            instance.launched_at = self.measure_start
+
+        # Client populates the scheduling queue while workers consume.
+        self.env.process(self._client(), name="client")
+        workers: list = []
+        for instance in instances:
+            for w in range(config.workers_per_instance):
+                workers.append(self._spawn_worker(instance))
+        # On-premise augmentation workers share the queue, but reach
+        # storage over the WAN.
+        if config.local_augmentation is not None:
+            aug = config.local_augmentation
+            host = _LocalHost(aug.machine)
+            for w in range(aug.n_workers):
+                workers.append(
+                    self._spawn_worker(
+                        host,
+                        concurrent_workers=aug.n_workers,
+                        wan_bandwidth_bps=aug.wan_bandwidth_mbps * 1e6 / 8.0,
+                        wan_latency_s=aug.wan_latency_s,
+                        prefix="local",
+                    )
+                )
+        # Fault injection: schedule crashes against the global worker
+        # index (instance-major order, matching spawn order).
+        for crash in config.fault_plan.worker_crashes:
+            if 0 <= crash.worker_index < len(workers):
+                self.env.process(
+                    self._crasher(workers[crash.worker_index], crash),
+                    name=f"crasher-{crash.worker_index}",
+                )
+
+        completion = self.env.process(self._completion_watcher(), name="watch")
+        yield completion
+        return self.env.now - self.measure_start
+
+    def _spawn_worker(
+        self,
+        host,
+        concurrent_workers: int | None = None,
+        wan_bandwidth_bps: float | None = None,
+        wan_latency_s: float = 0.0,
+        prefix: str = "worker",
+    ):
+        self._worker_counter += 1
+        name = f"{prefix}-{self._worker_counter}"
+        if concurrent_workers is None:
+            concurrent_workers = self.config.workers_per_instance
+        process = self.env.process(
+            self._worker(
+                host, name, concurrent_workers, wan_bandwidth_bps, wan_latency_s
+            ),
+            name=name,
+        )
+        self._worker_instance[id(process)] = host
+        return process
+
+    def _respawn_after_poison(
+        self, host, concurrent_workers, wan_bandwidth_bps, wan_latency_s
+    ):
+        yield self.env.timeout(self.config.fault_plan.poison_restart_s)
+        if host.is_running:
+            self._spawn_worker(
+                host,
+                concurrent_workers=concurrent_workers,
+                wan_bandwidth_bps=wan_bandwidth_bps,
+                wan_latency_s=wan_latency_s,
+            )
+
+    def _crasher(self, worker_process, crash):
+        delay = self.measure_start + crash.at_time - self.env.now
+        yield self.env.timeout(max(0.0, delay))
+        if worker_process.is_alive:
+            worker_process.interrupt("fault-injected crash")
+        if crash.restart_after is not None:
+            yield self.env.timeout(crash.restart_after)
+            # Replacement worker on the same instance as the victim.
+            instance = self._worker_instance.get(id(worker_process))
+            if instance is not None and instance.is_running:
+                self._spawn_worker(instance)
+
+    def _client(self):
+        # SendMessageBatch: ten tasks per request, as real clients do.
+        for start in range(0, len(self.tasks), 10):
+            batch = self.tasks[start : start + 10]
+            yield self.env.process(self.task_queue.send_batch(batch))
+
+    def _accounted_tasks(self) -> int:
+        """Distinct tasks that completed or were dead-lettered.
+
+        A union, not a sum: a slow task can complete *and* (with a tight
+        visibility timeout) exceed the receive limit — it must not count
+        twice.
+        """
+        accounted = set(self.completed)
+        if self.dead_letter_queue is not None:
+            accounted.update(
+                task.task_id for task in self.dead_letter_queue.peek_bodies()
+            )
+        return len(accounted)
+
+    def _completion_watcher(self):
+        poll = self.config.poll_backoff_s
+        deadline = self.config.max_sim_seconds
+        while self._accounted_tasks() < len(self.tasks):
+            if self.env.now > deadline:
+                missing = len(self.tasks) - len(self.completed)
+                raise RuntimeError(
+                    f"run exceeded max_sim_seconds={deadline} with "
+                    f"{missing} tasks incomplete (all workers dead?)"
+                )
+            msg = yield self.env.process(self.monitor_queue.receive())
+            if msg is None:
+                yield self.env.timeout(poll)
+                continue
+            self.completed.add(msg.body)
+            try:
+                yield self.env.process(self.monitor_queue.delete(msg))
+            except StaleReceiptError:
+                pass
+
+    # -- the worker ------------------------------------------------------------
+    def _worker(
+        self,
+        host,
+        name: str,
+        concurrent_workers: int,
+        wan_bandwidth_bps: float | None = None,
+        wan_latency_s: float = 0.0,
+    ):
+        config = self.config
+        rng = self.rng.stream(f"{name}-jitter")
+        straggle_rng = self.rng.stream(f"{name}-straggle")
+        try:
+            while len(self.completed) < len(self.tasks):
+                msg = yield self.env.process(self.task_queue.receive())
+                if wan_latency_s:
+                    yield self.env.timeout(wan_latency_s)
+                if msg is None:
+                    yield self.env.timeout(config.poll_backoff_s)
+                    continue
+                task: TaskSpec = msg.body
+                started = self.env.now
+                first_attempt = msg.receive_count == 1
+
+                # Poison task: executing its input kills the worker.
+                # The message reappears after the visibility timeout and
+                # — with a redrive policy — eventually dead-letters.
+                if task.task_id in config.fault_plan.poison_task_ids:
+                    self.env.process(
+                        self._respawn_after_poison(
+                            host,
+                            concurrent_workers,
+                            wan_bandwidth_bps,
+                            wan_latency_s,
+                        ),
+                        name=f"{name}-respawn",
+                    )
+                    return
+
+                # Download the input file over HTTP, retrying through
+                # eventual-consistency 404s.  Bounded: a key that never
+                # appears is a configuration error, not a consistency
+                # blip, and must fail loudly rather than hang the run.
+                t0 = self.env.now
+                for attempt_left in range(240, -1, -1):
+                    try:
+                        yield self.env.process(
+                            self.storage.get(
+                                task.input_key,
+                                bandwidth_bps=wan_bandwidth_bps,
+                                extra_latency_s=wan_latency_s,
+                            )
+                        )
+                        break
+                    except BlobNotFound:
+                        if attempt_left == 0:
+                            raise RuntimeError(
+                                f"input {task.input_key!r} never became "
+                                "visible in storage"
+                            ) from None
+                        yield self.env.timeout(0.5)
+                download_time = self.env.now - t0
+
+                # Execute the program.
+                service = task_runtime_seconds(
+                    self.app.perf_model,
+                    task.work_units,
+                    host.machine,
+                    concurrent_workers=concurrent_workers,
+                    threads=config.threads_per_worker,
+                    clock_ghz=host.effective_clock_ghz(),
+                )
+                plan = config.fault_plan
+                if (
+                    plan.straggler_probability
+                    and straggle_rng.random() < plan.straggler_probability
+                ):
+                    service *= plan.straggler_slowdown
+                # Small service-time noise on top of instance jitter.
+                service *= float(rng.uniform(0.98, 1.02))
+                t1 = self.env.now
+                yield self.env.timeout(service)
+                compute_time = self.env.now - t1
+
+                # Upload the result (idempotent overwrite on re-execution).
+                t2 = self.env.now
+                yield self.env.process(
+                    self.storage.put(
+                        task.output_key,
+                        task.output_size,
+                        bandwidth_bps=wan_bandwidth_bps,
+                        extra_latency_s=wan_latency_s,
+                    )
+                )
+                upload_time = self.env.now - t2
+
+                # Delete the message; a stale receipt means the task was
+                # re-delivered meanwhile — our (identical) result stands.
+                was_duplicate = not first_attempt
+                try:
+                    yield self.env.process(self.task_queue.delete(msg))
+                except StaleReceiptError:
+                    was_duplicate = True
+                yield self.env.process(self.monitor_queue.send(task.task_id))
+
+                self.records.append(
+                    TaskRecord(
+                        task_id=task.task_id,
+                        worker=name,
+                        started_at=started,
+                        finished_at=self.env.now,
+                        download_time=download_time,
+                        compute_time=compute_time,
+                        upload_time=upload_time,
+                        attempt=msg.receive_count,
+                        was_duplicate=was_duplicate,
+                        won=not was_duplicate,
+                    )
+                )
+        except Interrupt:
+            return  # crashed: in-flight message reappears after timeout

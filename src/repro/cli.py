@@ -1,0 +1,353 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``catalog`` — print the instance-type tables (paper Tables 1–2) and
+  cluster catalog;
+* ``run`` — run one application workload on one backend and print the
+  paper's metrics (Eq. 1 efficiency, Eq. 2 per-file time, cost);
+* ``cost`` — the Table 4 style cloud-vs-cluster comparison for an
+  arbitrary file count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cloud.failures import FaultPlan
+from repro.cloud.instance_types import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+from repro.cluster import CLUSTERS, get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.report import format_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Cloud Computing Paradigms for Pleasingly "
+            "Parallel Biomedical Applications' (Gunarathne et al., 2010)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print instance-type and cluster catalogs")
+
+    run_parser = sub.add_parser(
+        "run", help="run a workload on a backend and print metrics"
+    )
+    run_parser.add_argument(
+        "--app", choices=("cap3", "blast", "gtm"), default="cap3"
+    )
+    run_parser.add_argument(
+        "--backend",
+        choices=("ec2", "azure", "hadoop", "dryadlinq"),
+        default="ec2",
+    )
+    run_parser.add_argument("--files", type=int, default=200)
+    run_parser.add_argument(
+        "--instances", type=int, default=None,
+        help="cloud instances (default: paper setup)",
+    )
+    run_parser.add_argument(
+        "--instance-type", default=None, help="e.g. HCXL or Small"
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, help="workers per instance"
+    )
+    run_parser.add_argument(
+        "--nodes", type=int, default=None, help="bare-metal nodes"
+    )
+    run_parser.add_argument(
+        "--cluster", default=None, help=f"one of {sorted(CLUSTERS)}"
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--inhomogeneous", action="store_true",
+        help="inhomogeneous task sizes (Cap3/BLAST)",
+    )
+
+    cost_parser = sub.add_parser(
+        "cost", help="Table 4-style cost comparison for a Cap3 workload"
+    )
+    cost_parser.add_argument("--files", type=int, default=4096)
+    cost_parser.add_argument("--reads-per-file", type=int, default=458)
+
+    figures_parser = sub.add_parser(
+        "figures", help="regenerate one of the paper's figures"
+    )
+    figures_parser.add_argument(
+        "figure", nargs="?", default=None,
+        help="figure id (omit to list available ids)",
+    )
+
+    analyze_parser = sub.add_parser(
+        "analyze", help="analyze a trace JSON exported via RunResult.to_json"
+    )
+    analyze_parser.add_argument("trace", help="path to the trace JSON")
+    analyze_parser.add_argument(
+        "--gantt-width", type=int, default=72, help="Gantt chart width"
+    )
+
+    gendata_parser = sub.add_parser(
+        "gendata", help="write a real synthetic workload to disk"
+    )
+    gendata_parser.add_argument(
+        "--app", choices=("cap3", "blast", "gtm"), default="cap3"
+    )
+    gendata_parser.add_argument("directory", help="output directory")
+    gendata_parser.add_argument("--files", type=int, default=8)
+    gendata_parser.add_argument(
+        "--size", type=int, default=None,
+        help="reads per file (cap3), queries per file (blast) or points "
+             "per file (gtm); app default if omitted",
+    )
+    gendata_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _tasks_for(app_name: str, n_files: int, inhomogeneous: bool, seed: int):
+    if app_name == "cap3":
+        from repro.workloads.genome import cap3_task_specs
+
+        return cap3_task_specs(
+            n_files, inhomogeneous=inhomogeneous, seed=seed
+        )
+    if app_name == "blast":
+        from repro.workloads.protein import blast_task_specs
+
+        return blast_task_specs(
+            n_files, inhomogeneous_base=inhomogeneous, seed=seed
+        )
+    from repro.workloads.pubchem import gtm_task_specs
+
+    return gtm_task_specs(n_files)
+
+
+def _cmd_catalog(out) -> int:
+    rows = [
+        [t.name, f"{t.machine.memory_gb} GB", t.ec2_compute_units or "-",
+         f"{t.machine.cores} x {t.machine.clock_ghz} GHz",
+         f"${t.cost_per_hour}/h"]
+        for t in EC2_INSTANCE_TYPES.values()
+    ]
+    print(format_table(
+        ["EC2 type", "memory", "ECU", "cores", "price"], rows,
+        title="Table 1: EC2 instance types",
+    ), file=out)
+    rows = [
+        [t.name, t.machine.cores, f"{t.machine.memory_gb} GB",
+         f"${t.cost_per_hour}/h"]
+        for t in AZURE_INSTANCE_TYPES.values()
+    ]
+    print(file=out)
+    print(format_table(
+        ["Azure type", "cores", "memory", "price"], rows,
+        title="Table 2: Azure instance types",
+    ), file=out)
+    rows = [
+        [c.name, c.n_nodes, c.node.machine.cores,
+         f"{c.node.machine.clock_ghz} GHz",
+         f"{c.node.machine.memory_gb} GB", c.node.machine.os]
+        for c in CLUSTERS.values()
+    ]
+    print(file=out)
+    print(format_table(
+        ["cluster", "nodes", "cores/node", "clock", "memory/node", "os"],
+        rows, title="Bare-metal clusters",
+    ), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    app = get_application(args.app)
+    tasks = _tasks_for(args.app, args.files, args.inhomogeneous, args.seed)
+    kwargs: dict = {"seed": args.seed}
+    if args.backend in ("ec2", "azure"):
+        kwargs["fault_plan"] = FaultPlan.none()
+        if args.instances is not None:
+            kwargs["n_instances"] = args.instances
+        if args.instance_type is not None:
+            kwargs["instance_type"] = args.instance_type
+        if args.workers is not None:
+            kwargs["workers_per_instance"] = args.workers
+    else:
+        cluster_name = args.cluster or (
+            "cap3-baremetal-windows" if args.backend == "dryadlinq"
+            else "cap3-baremetal"
+        )
+        cluster = get_cluster(cluster_name)
+        if args.nodes is not None:
+            cluster = cluster.subset(args.nodes)
+        kwargs["cluster"] = cluster
+    backend = make_backend(args.backend, **kwargs)
+    result = backend.run(app, tasks)
+    t1 = backend.estimate_sequential_time(app, tasks)
+    cores = backend.total_cores
+    rows = [
+        ["backend", result.backend],
+        ["tasks", str(result.n_tasks)],
+        ["cores", str(cores)],
+        ["makespan", f"{result.makespan_seconds:,.1f} s"],
+        ["T1 (sequential)", f"{t1:,.1f} s"],
+        ["parallel efficiency (Eq.1)",
+         f"{parallel_efficiency(t1, result.makespan_seconds, cores):.3f}"],
+        ["avg time/file/core (Eq.2)",
+         f"{average_time_per_file_per_core(result.makespan_seconds, cores, result.n_tasks):.2f} s"],
+    ]
+    if result.billing is not None:
+        rows.append(
+            ["compute cost (hour units)", f"${result.billing.compute_cost:.2f}"]
+        )
+        rows.append(
+            ["amortized total cost",
+             f"${result.billing.total_amortized_cost:.2f}"]
+        )
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.app} on {args.backend}"), file=out)
+    return 0
+
+
+def _cmd_cost(args, out) -> int:
+    from repro.core.cost import cloud_vs_cluster
+    from repro.workloads.genome import cap3_task_specs
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(args.files, reads_per_file=args.reads_per_file)
+    ec2 = make_backend(
+        "ec2", n_instances=16, fault_plan=FaultPlan.none(), perf_jitter=0.0
+    ).run(app, tasks)
+    azure = make_backend(
+        "azure", n_instances=128, fault_plan=FaultPlan.none(), perf_jitter=0.0
+    ).run(app, tasks)
+    hadoop = make_backend("hadoop", cluster=get_cluster("internal-tco")).run(
+        app, tasks
+    )
+    comparison = cloud_vs_cluster(
+        aws_report=ec2.billing,
+        azure_report=azure.billing,
+        cluster_wall_hours=hadoop.makespan_seconds / 3600.0,
+    )
+    print(format_table(
+        ["", "Amazon Web Services", "Azure"], comparison.table4_rows(),
+        title=f"Cost comparison ({args.files} FASTA files)",
+    ), file=out)
+    print(file=out)
+    print(format_table(
+        ["internal cluster", "cost"], comparison.cluster_rows(),
+    ), file=out)
+    return 0
+
+
+def _cmd_figures(args, out) -> int:
+    from repro.figures import available_figures, render_figure
+
+    if args.figure is None:
+        print("available figures:", ", ".join(available_figures()), file=out)
+        return 0
+    try:
+        print(render_figure(args.figure), file=out)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return 2
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from repro.core.analysis import (
+        gantt_text,
+        load_balance_index,
+        phase_breakdown,
+        worker_utilization,
+    )
+    from repro.core.task import RunResult
+
+    try:
+        result = RunResult.from_json(args.trace)
+    except FileNotFoundError:
+        print(f"error: no such trace {args.trace!r}", file=out)
+        return 2
+    rows = [
+        ["backend", result.backend],
+        ["tasks", str(result.n_tasks)],
+        ["makespan", f"{result.makespan_seconds:,.1f} s"],
+        ["duplicate executions", str(result.duplicate_executions)],
+        ["load balance (max/mean)", f"{load_balance_index(result):.3f}"],
+    ]
+    for phase, fraction in phase_breakdown(result).items():
+        rows.append([f"time in {phase}", f"{100 * fraction:.1f}%"])
+    utilization = worker_utilization(result)
+    rows.append(
+        ["worker utilization",
+         f"min {min(utilization.values()):.2f} / "
+         f"max {max(utilization.values()):.2f}"]
+    )
+    print(format_table(["metric", "value"], rows,
+                       title=f"trace: {args.trace}"), file=out)
+    print(file=out)
+    print(gantt_text(result, width=args.gantt_width), file=out)
+    return 0
+
+
+def _cmd_gendata(args, out) -> int:
+    if args.app == "cap3":
+        from repro.workloads.genome import write_cap3_workload
+
+        specs = write_cap3_workload(
+            args.directory,
+            n_files=args.files,
+            reads_per_file=args.size or 24,
+            seed=args.seed,
+        )
+        extra = ""
+    elif args.app == "blast":
+        from repro.workloads.protein import write_blast_workload
+
+        specs, db = write_blast_workload(
+            args.directory,
+            n_files=args.files,
+            queries_per_file=args.size or 10,
+            seed=args.seed,
+        )
+        extra = f" (database: {len(db)} sequences, in memory only)"
+    else:
+        from repro.workloads.pubchem import write_gtm_workload
+
+        specs, sample = write_gtm_workload(
+            args.directory,
+            n_files=args.files,
+            points_per_file=args.size or 500,
+            seed=args.seed,
+        )
+        extra = f" (training sample: {sample.shape[0]} points)"
+    total_bytes = sum(s.input_size for s in specs)
+    print(
+        f"wrote {len(specs)} {args.app} input files "
+        f"({total_bytes:,} bytes) under {args.directory}{extra}",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "catalog":
+        return _cmd_catalog(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "cost":
+        return _cmd_cost(args, out)
+    if args.command == "figures":
+        return _cmd_figures(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+    if args.command == "gendata":
+        return _cmd_gendata(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,124 @@
+"""Cost metering and billing reports.
+
+Two compute-cost views, following the paper's Evaluation Methodology:
+
+* **Compute cost (hour units)** — instances are billed by the full hour:
+  the computation pays for every started hour even if it finishes early.
+* **Amortized cost** — the computation pays only for the fraction of the
+  hour it actually used (assumes the remainder does other useful work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cloud.pricing import PriceBook
+
+__all__ = ["BillingReport", "CostMeter"]
+
+
+@dataclass
+class CostMeter:
+    """Accumulates billable usage for one simulated run."""
+
+    price_book: PriceBook
+    queue_requests: int = 0
+    storage_requests: int = 0
+    bytes_stored: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    # One record per instance lifetime: (type_name, seconds, rate_per_hour).
+    # Rounding to full hours happens per instance, as the providers bill.
+    instance_usage: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def record_queue_request(self, count: int = 1) -> None:
+        """Meter ``count`` queue API calls."""
+        self.queue_requests += count
+
+    def record_storage_request(self, count: int = 1) -> None:
+        """Meter ``count`` blob API calls."""
+        self.storage_requests += count
+
+    def record_transfer(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
+        """Meter ingress/egress bytes (relative to the cloud)."""
+        self.bytes_in += bytes_in
+        self.bytes_out += bytes_out
+
+    def record_stored(self, n_bytes: int) -> None:
+        """Meter bytes resident in blob storage (for GB-month charges)."""
+        self.bytes_stored += n_bytes
+
+    def record_instance_usage(
+        self, type_name: str, seconds: float, rate_per_hour: float
+    ) -> None:
+        """Meter ``seconds`` of uptime on one instance of ``type_name``."""
+        self.instance_usage.append((type_name, seconds, rate_per_hour))
+
+    def report(self, storage_months: float = 1.0) -> "BillingReport":
+        """Summarize metered usage into dollar figures."""
+        compute_hours = 0.0
+        compute_cost = 0.0
+        amortized_cost = 0.0
+        for _type_name, seconds, rate in self.instance_usage:
+            hours = seconds / 3600.0
+            billed_hours = math.ceil(hours) if hours > 0 else 1
+            compute_hours += billed_hours
+            compute_cost += billed_hours * rate
+            amortized_cost += hours * rate
+        gb = 1024.0**3
+        return BillingReport(
+            compute_hour_units=compute_hours,
+            compute_cost=compute_cost,
+            amortized_compute_cost=amortized_cost,
+            queue_cost=self.price_book.queue_cost(self.queue_requests),
+            storage_cost=self.price_book.storage_cost(
+                self.bytes_stored / gb, storage_months
+            )
+            + self.storage_requests * self.price_book.storage_request_price,
+            transfer_cost=self.price_book.transfer_cost(
+                self.bytes_in / gb, self.bytes_out / gb
+            ),
+            queue_requests=self.queue_requests,
+            storage_requests=self.storage_requests,
+        )
+
+
+@dataclass(frozen=True)
+class BillingReport:
+    """Dollar totals for one run (the paper's Table 4 row shape)."""
+
+    compute_hour_units: float
+    compute_cost: float
+    amortized_compute_cost: float
+    queue_cost: float
+    storage_cost: float
+    transfer_cost: float
+    queue_requests: int
+    storage_requests: int
+
+    @property
+    def total_cost(self) -> float:
+        """Full-hour compute plus all service costs."""
+        return (
+            self.compute_cost + self.queue_cost + self.storage_cost
+            + self.transfer_cost
+        )
+
+    @property
+    def total_amortized_cost(self) -> float:
+        """Fractional-hour compute plus all service costs."""
+        return (
+            self.amortized_compute_cost + self.queue_cost + self.storage_cost
+            + self.transfer_cost
+        )
+
+    def rows(self) -> list[tuple[str, float]]:
+        """Line items in Table 4 order."""
+        return [
+            ("Compute Cost", self.compute_cost),
+            ("Queue messages", self.queue_cost),
+            ("Storage", self.storage_cost),
+            ("Data transfer in/out", self.transfer_cost),
+            ("Total Cost", self.total_cost),
+        ]

@@ -1,0 +1,135 @@
+"""Deployment-effort models (paper Section 2.4 and the §4.3 footnote).
+
+The paper's usability discussion is qualitative: "The deployment process
+was easier with Azure as opposed to EC2, in which we had to manually
+create instances, install software and start the worker instances", and
+§4.3 notes "there would also be additional costs in the cloud
+environments for the instance time required for environment
+preparation".  This module makes both quantitative: per-provider
+deployment pipelines with manual/automated steps, wall time, and the
+billable instance-time cost of preparation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance_types import InstanceType
+
+__all__ = [
+    "AZURE_DEPLOYMENT",
+    "EC2_DEPLOYMENT",
+    "DeploymentModel",
+    "DeploymentStep",
+    "preparation_cost",
+]
+
+
+@dataclass(frozen=True)
+class DeploymentStep:
+    """One step of getting workers running."""
+
+    name: str
+    seconds: float
+    manual: bool  # requires a human in the loop
+    per_instance: bool = False  # repeats for every instance
+    on_instance_clock: bool = False  # instance is booted (billable) during it
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeploymentModel:
+    """A provider's end-to-end deployment pipeline."""
+
+    provider: str
+    steps: tuple[DeploymentStep, ...]
+
+    def total_seconds(self, n_instances: int) -> float:
+        """Wall time to deploy ``n_instances`` workers.
+
+        Per-instance manual steps serialize on the operator; per-instance
+        automated steps run in parallel across instances.
+        """
+        if n_instances < 1:
+            raise ValueError("n_instances must be >= 1")
+        total = 0.0
+        for step in self.steps:
+            if step.per_instance and step.manual:
+                total += step.seconds * n_instances
+            else:
+                total += step.seconds
+        return total
+
+    def manual_seconds(self, n_instances: int) -> float:
+        """Operator attention required (the usability metric)."""
+        if n_instances < 1:
+            raise ValueError("n_instances must be >= 1")
+        return sum(
+            step.seconds * (n_instances if step.per_instance else 1)
+            for step in self.steps
+            if step.manual
+        )
+
+    def billable_seconds(self, n_instances: int) -> float:
+        """Instance-clock time consumed by preparation (per instance)."""
+        del n_instances  # same per instance; kept for interface symmetry
+        return sum(
+            step.seconds for step in self.steps if step.on_instance_clock
+        )
+
+    @property
+    def manual_step_count(self) -> int:
+        return sum(1 for step in self.steps if step.manual)
+
+
+# EC2 (paper §2.4): manual instance creation, software install, worker
+# startup — flexible but operator-heavy.  An AMI snapshot amortizes the
+# software install, but the paper's workflow still SSHes around.
+EC2_DEPLOYMENT = DeploymentModel(
+    provider="aws",
+    steps=(
+        DeploymentStep("build AMI with executables", 1800.0, manual=True),
+        DeploymentStep("launch instances", 120.0, manual=True),
+        DeploymentStep(
+            "instance boot", 90.0, manual=False, on_instance_clock=True
+        ),
+        DeploymentStep(
+            "ssh in, start worker daemon", 60.0, manual=True, per_instance=True,
+            on_instance_clock=True,
+        ),
+    ),
+)
+
+# Azure (paper §2.4): package once in Visual Studio, upload, and the
+# fabric controller does the rest — fewer manual steps, slower rollout.
+AZURE_DEPLOYMENT = DeploymentModel(
+    provider="azure",
+    steps=(
+        DeploymentStep("build deployment package", 600.0, manual=True),
+        DeploymentStep("upload package via portal", 300.0, manual=True),
+        DeploymentStep(
+            "fabric provisions and starts roles", 600.0, manual=False,
+            on_instance_clock=True,
+        ),
+    ),
+)
+
+
+def preparation_cost(
+    model: DeploymentModel, instance_type: InstanceType, n_instances: int
+) -> float:
+    """Dollar cost of preparation instance-time (§4.3's 'additional
+    costs ... for environment preparation'), billed by started hours."""
+    import math
+
+    if instance_type.provider != model.provider:
+        raise ValueError(
+            f"{instance_type.name} is {instance_type.provider}, "
+            f"model is {model.provider}"
+        )
+    hours = model.billable_seconds(n_instances) / 3600.0
+    billed = math.ceil(hours) if hours > 0 else 0
+    return billed * instance_type.cost_per_hour * n_instances

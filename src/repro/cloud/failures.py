@@ -1,0 +1,60 @@
+"""Fault-injection plans for resilience experiments.
+
+The Classic Cloud framework's fault-tolerance claim is that a worker crash
+mid-task loses nothing: the task's queue message reappears after the
+visibility timeout and another worker re-executes it, idempotently.  A
+:class:`FaultPlan` lets tests and ablation benches schedule exactly such
+crashes, plus storage/message-level misbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "WorkerCrash"]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill one worker at a simulated time.
+
+    ``worker_index`` is the global worker index (instance-major order);
+    ``at_time`` is simulated seconds from the start of the run.  If
+    ``restart_after`` is not None, a replacement worker starts that many
+    seconds after the crash (modelling instance replacement).
+    """
+
+    worker_index: int
+    at_time: float
+    restart_after: float | None = None
+
+
+@dataclass
+class FaultPlan:
+    """Everything that can go wrong during a run."""
+
+    worker_crashes: list[WorkerCrash] = field(default_factory=list)
+    message_duplicate_probability: float = 0.0
+    queue_miss_probability: float = 0.02
+    storage_error_rate: float = 0.0
+    # Straggler injection: each task independently becomes this many times
+    # slower with the given probability (exercises speculative execution).
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 5.0
+    # Poison tasks: executing one of these kills the worker outright
+    # (the input crashes the program).  Idempotent re-execution cannot
+    # fix these — only a dead-letter redrive policy bounds them.
+    poison_task_ids: frozenset[str] = frozenset()
+    poison_restart_s: float = 30.0  # replacement worker delay
+
+    def crashes_for(self, worker_index: int) -> list[WorkerCrash]:
+        """Crashes scheduled against one worker, in time order."""
+        return sorted(
+            (c for c in self.worker_crashes if c.worker_index == worker_index),
+            key=lambda c: c.at_time,
+        )
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """A plan with no injected faults (and no queue misses)."""
+        return FaultPlan(queue_miss_probability=0.0)

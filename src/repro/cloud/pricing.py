@@ -1,0 +1,58 @@
+"""Price books for the non-compute cloud services.
+
+Figures match the paper's Table 4 line items (2010 price points):
+
+* queue requests: ~10,000 messages cost $0.01 on both platforms;
+* storage: $0.14 (S3) / $0.15 (Azure Blob) per GB-month;
+* data transfer: $0.10/GB in on both; $0.15/GB out on Azure (the paper's
+  Table 4 charges AWS only for transfer-in of the workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AWS_PRICES", "AZURE_PRICES", "PriceBook"]
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Unit prices for storage, queue and transfer on one provider."""
+
+    provider: str
+    queue_request_price: float  # $ per queue API request
+    storage_gb_month: float  # $ per GB-month stored
+    storage_request_price: float  # $ per blob API request
+    transfer_in_gb: float  # $ per GB ingress
+    transfer_out_gb: float  # $ per GB egress
+
+    def queue_cost(self, requests: int) -> float:
+        """Cost of ``requests`` queue API calls."""
+        return requests * self.queue_request_price
+
+    def storage_cost(self, gb: float, months: float = 1.0) -> float:
+        """Cost of storing ``gb`` gigabytes for ``months`` months."""
+        return gb * months * self.storage_gb_month
+
+    def transfer_cost(self, gb_in: float, gb_out: float = 0.0) -> float:
+        """Cost of moving data in and out of the cloud."""
+        return gb_in * self.transfer_in_gb + gb_out * self.transfer_out_gb
+
+
+AWS_PRICES = PriceBook(
+    provider="aws",
+    queue_request_price=0.01 / 10_000,
+    storage_gb_month=0.14,
+    storage_request_price=0.01 / 10_000,
+    transfer_in_gb=0.10,
+    transfer_out_gb=0.15,
+)
+
+AZURE_PRICES = PriceBook(
+    provider="azure",
+    queue_request_price=0.01 / 10_000,
+    storage_gb_month=0.15,
+    storage_request_price=0.01 / 10_000,
+    transfer_in_gb=0.10,
+    transfer_out_gb=0.15,
+)

@@ -1,0 +1,337 @@
+"""Simulated distributed message queue (Amazon SQS / Azure Queue).
+
+Semantics modelled straight from the paper's SQS description:
+
+* **at-least-once, unordered** delivery — no FIFO guarantee; a receive
+  returns *some* visible message (uniformly chosen);
+* **eventual consistency** — a freshly sent message only becomes visible
+  after a short propagation delay, and a receive may return empty even
+  when messages exist (availability is only guaranteed *over multiple
+  requests*);
+* **visibility timeout** — a received message is hidden from other
+  consumers until the timeout expires; if the consumer does not delete it
+  in time, the message *reappears* and will be processed again (this is
+  the Classic Cloud framework's entire fault-tolerance story);
+* **receipt handles** — deletion requires the receipt from the most recent
+  receive; a stale receipt fails, exactly like SQS after a reappearance;
+* priced per API request.
+
+Every operation is a DES process generator paying a request latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.cloud.billing import CostMeter
+from repro.sim.engine import Environment
+
+__all__ = ["Message", "MessageQueue", "QueueStats", "StaleReceiptError"]
+
+
+class StaleReceiptError(RuntimeError):
+    """Delete attempted with a receipt that is no longer current."""
+
+
+@dataclass
+class Message:
+    """A queue message as seen by a consumer."""
+
+    message_id: int
+    body: Any
+    enqueued_at: float
+    receive_count: int = 0
+    receipt: int = 0  # changes on every receive
+    first_received_at: float | None = None
+    visible_at: float = 0.0  # authoritative next-visible time
+
+
+@dataclass
+class QueueStats:
+    """Observable counters for tests and experiments."""
+
+    sent: int = 0
+    received: int = 0
+    empty_receives: int = 0
+    deleted: int = 0
+    reappearances: int = 0
+    duplicate_deliveries: int = 0
+    stale_deletes: int = 0
+    dead_lettered: int = 0
+
+
+class MessageQueue:
+    """One simulated SQS queue / Azure queue."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        rng: np.random.Generator,
+        meter: CostMeter | None = None,
+        visibility_timeout_s: float = 300.0,
+        request_latency_s: float = 0.020,
+        latency_sigma: float = 0.35,
+        propagation_delay_s: float = 0.050,
+        miss_probability: float = 0.02,
+        duplicate_probability: float = 0.0,
+        max_receive_count: int | None = None,
+        dead_letter_queue: "MessageQueue | None" = None,
+    ):
+        """Create a queue.
+
+        ``visibility_timeout_s`` is the default hide window after a receive.
+        ``propagation_delay_s`` is how long a sent message takes to become
+        receivable.  ``miss_probability`` is the chance a receive returns
+        empty despite visible messages (eventual-consistency artefact).
+        ``duplicate_probability`` is the chance a received message is *also*
+        left visible (at-least-once duplication artefact).
+
+        ``max_receive_count`` with ``dead_letter_queue`` configures an
+        SQS-style redrive policy: a message received more than
+        ``max_receive_count`` times without deletion moves to the DLQ
+        instead of reappearing — the defence against *poison tasks*
+        (tasks that crash every worker), which the paper's "rare
+        re-execution is harmless" argument does not cover.
+        """
+        if max_receive_count is not None and max_receive_count < 1:
+            raise ValueError("max_receive_count must be >= 1")
+        self.env = env
+        self.name = name
+        self.rng = rng
+        self.meter = meter
+        self.visibility_timeout_s = visibility_timeout_s
+        self.request_latency_s = request_latency_s
+        self.latency_sigma = latency_sigma
+        self.propagation_delay_s = propagation_delay_s
+        self.miss_probability = miss_probability
+        self.duplicate_probability = duplicate_probability
+        self.max_receive_count = max_receive_count
+        self.dead_letter_queue = dead_letter_queue
+        self.stats = QueueStats()
+        self._ids = itertools.count()
+        self._receipts = itertools.count(1)
+        self._messages: dict[int, Message] = {}
+        # (visible_at, seq, message_id): both fresh sends and in-flight
+        # (invisible) messages wait here until their visible_at.
+        self._pending: list[tuple[float, int, int]] = []
+        self._seq = itertools.count()
+        self._visible: list[int] = []
+        self._inflight: dict[int, int] = {}  # message_id -> current receipt
+
+    # -- internals --------------------------------------------------------------
+    def _latency(self) -> float:
+        return float(
+            self.request_latency_s
+            * self.rng.lognormal(mean=0.0, sigma=self.latency_sigma)
+        )
+
+    def _meter_request(self) -> None:
+        if self.meter is not None:
+            self.meter.record_queue_request()
+
+    def _promote_due(self) -> None:
+        """Move pending messages whose visible_at has passed into view."""
+        while self._pending and self._pending[0][0] <= self.env.now:
+            entry_time, _, message_id = heapq.heappop(self._pending)
+            message = self._messages.get(message_id)
+            if message is None:
+                continue  # deleted while pending
+            if entry_time < message.visible_at:
+                continue  # superseded by a visibility extension
+            was_inflight = self._inflight.pop(message_id, None)
+            if was_inflight is not None:
+                self.stats.reappearances += 1
+                # Redrive policy: poison messages go to the DLQ instead
+                # of reappearing forever.
+                if (
+                    self.max_receive_count is not None
+                    and message.receive_count >= self.max_receive_count
+                ):
+                    del self._messages[message_id]
+                    self.stats.dead_lettered += 1
+                    if self.dead_letter_queue is not None:
+                        self.dead_letter_queue._accept_dead_letter(message)
+                    continue
+            if message_id not in self._visible:
+                self._visible.append(message_id)
+
+    # -- operations ---------------------------------------------------------------
+    def send(self, body: Any) -> Generator:
+        """Enqueue a message (process).  Returns its message id."""
+        self._meter_request()
+        yield self.env.timeout(self._latency())
+        message_id = next(self._ids)
+        visible_at = self.env.now + self.propagation_delay_s
+        self._messages[message_id] = Message(
+            message_id=message_id,
+            body=body,
+            enqueued_at=self.env.now,
+            visible_at=visible_at,
+        )
+        heapq.heappush(
+            self._pending, (visible_at, next(self._seq), message_id)
+        )
+        self.stats.sent += 1
+        return message_id
+
+    def _accept_dead_letter(self, message: Message) -> None:
+        """Server-side redrive: take a poison message from a source
+        queue (no client request, no latency)."""
+        message_id = next(self._ids)
+        self._messages[message_id] = Message(
+            message_id=message_id,
+            body=message.body,
+            enqueued_at=self.env.now,
+            receive_count=message.receive_count,
+            visible_at=self.env.now,
+        )
+        heapq.heappush(
+            self._pending, (self.env.now, next(self._seq), message_id)
+        )
+        self.stats.sent += 1
+
+    def send_batch(self, bodies: list[Any]) -> Generator:
+        """Enqueue up to 10 messages in one API request (process).
+
+        Mirrors SQS ``SendMessageBatch``: one metered request and one
+        round-trip latency for the whole batch.  Returns the message ids.
+        """
+        if not 1 <= len(bodies) <= 10:
+            raise ValueError("batch size must be 1..10")
+        self._meter_request()
+        yield self.env.timeout(self._latency())
+        ids = []
+        for body in bodies:
+            message_id = next(self._ids)
+            visible_at = self.env.now + self.propagation_delay_s
+            self._messages[message_id] = Message(
+                message_id=message_id,
+                body=body,
+                enqueued_at=self.env.now,
+                visible_at=visible_at,
+            )
+            heapq.heappush(
+                self._pending, (visible_at, next(self._seq), message_id)
+            )
+            self.stats.sent += 1
+            ids.append(message_id)
+        return ids
+
+    def receive(
+        self,
+        visibility_timeout_s: float | None = None,
+        wait_time_s: float = 0.0,
+    ) -> Generator:
+        """Receive one message (process).
+
+        Returns a :class:`Message` (with a fresh receipt) or ``None`` on an
+        empty receive.  The message is hidden for ``visibility_timeout_s``
+        (queue default if omitted).
+
+        ``wait_time_s`` > 0 enables *long polling* (SQS
+        ``ReceiveMessage`` with ``WaitTimeSeconds``): the single metered
+        request holds server-side until a message arrives or the wait
+        expires, drastically cutting empty receives on an idle queue.
+        """
+        if wait_time_s < 0:
+            raise ValueError("wait_time_s must be non-negative")
+        self._meter_request()
+        yield self.env.timeout(self._latency())
+        deadline = self.env.now + wait_time_s
+        while True:
+            self._promote_due()
+            if self._visible:
+                break
+            if self.env.now >= deadline:
+                self.stats.empty_receives += 1
+                return None
+            yield self.env.timeout(
+                min(0.2, max(1e-6, deadline - self.env.now))
+            )
+        if self.miss_probability and self.rng.random() < self.miss_probability:
+            self.stats.empty_receives += 1
+            return None
+        index = int(self.rng.integers(len(self._visible)))
+        message_id = self._visible[index]
+        message = self._messages[message_id]
+        message.receive_count += 1
+        if message.receive_count > 1:
+            self.stats.duplicate_deliveries += 1
+        if message.first_received_at is None:
+            message.first_received_at = self.env.now
+        message.receipt = next(self._receipts)
+        timeout = (
+            self.visibility_timeout_s
+            if visibility_timeout_s is None
+            else visibility_timeout_s
+        )
+        duplicated = (
+            self.duplicate_probability
+            and self.rng.random() < self.duplicate_probability
+        )
+        if not duplicated:
+            self._visible.pop(index)
+            self._inflight[message_id] = message.receipt
+            message.visible_at = self.env.now + timeout
+            heapq.heappush(
+                self._pending,
+                (message.visible_at, next(self._seq), message_id),
+            )
+        self.stats.received += 1
+        # Hand back a snapshot: the receipt of *this* receive must not
+        # mutate when the message is later re-received by someone else.
+        return replace(message)
+
+    def delete(self, message: Message) -> Generator:
+        """Delete a received message (process).
+
+        Fails with :class:`StaleReceiptError` if the message reappeared and
+        was re-received since this receipt was issued — the later consumer
+        now owns it.
+        """
+        self._meter_request()
+        yield self.env.timeout(self._latency())
+        current = self._inflight.get(message.message_id)
+        if current is not None and current != message.receipt:
+            self.stats.stale_deletes += 1
+            raise StaleReceiptError(
+                f"receipt {message.receipt} superseded by {current}"
+            )
+        self._inflight.pop(message.message_id, None)
+        if self._messages.pop(message.message_id, None) is not None:
+            self.stats.deleted += 1
+        if message.message_id in self._visible:
+            self._visible.remove(message.message_id)
+
+    def change_visibility(self, message: Message, timeout_s: float) -> Generator:
+        """Extend/shrink the visibility window of an in-flight message."""
+        self._meter_request()
+        yield self.env.timeout(self._latency())
+        if self._inflight.get(message.message_id) != message.receipt:
+            raise StaleReceiptError("message not in flight under this receipt")
+        live = self._messages[message.message_id]
+        live.visible_at = self.env.now + timeout_s
+        heapq.heappush(
+            self._pending,
+            (live.visible_at, next(self._seq), message.message_id),
+        )
+
+    # -- inspection (no simulated time) ---------------------------------------
+    def peek_bodies(self) -> list[Any]:
+        """Bodies of all undeleted messages (test/diagnostic helper)."""
+        return [m.body for m in self._messages.values()]
+
+    def approximate_size(self) -> int:
+        """Messages not yet deleted (visible + in flight + propagating)."""
+        return len(self._messages)
+
+    def visible_now(self) -> int:
+        """Messages receivable at this instant (test helper)."""
+        self._promote_due()
+        return len(self._visible)

@@ -1,0 +1,18 @@
+"""Bare-metal cluster models for the Hadoop and DryadLINQ experiments.
+
+The paper runs Hadoop and DryadLINQ on owned clusters rather than cloud
+VMs; :mod:`repro.cluster.spec` catalogs those clusters' node hardware, and
+:mod:`repro.cluster.tco` implements the buy-vs-lease cost model used in the
+paper's Section 4.3 (cluster purchase cost depreciated over three years
+plus yearly maintenance, scaled by utilization).
+"""
+
+from repro.cluster.spec import (
+    CLUSTERS,
+    ClusterSpec,
+    NodeSpec,
+    get_cluster,
+)
+from repro.cluster.tco import ClusterTco
+
+__all__ = ["CLUSTERS", "ClusterSpec", "ClusterTco", "NodeSpec", "get_cluster"]

@@ -1,0 +1,175 @@
+"""Node and cluster hardware catalogs for the paper's bare-metal runs.
+
+Each experiment section names the cluster it used; the entries below carry
+those specifications so the Hadoop/DryadLINQ simulators schedule onto the
+same shapes:
+
+* ``cap3-baremetal`` — 32 nodes x 8 cores (2.5 GHz), 16 GB/node; used for
+  both the Cap3 Hadoop and Cap3 DryadLINQ runs (Section 4.2).
+* ``idataplex`` — BLAST Hadoop: 2 x 4-core Intel Xeon E5410 2.33 GHz,
+  16 GB, Gigabit Ethernet (Section 5.2).
+* ``hpc-blast`` — BLAST DryadLINQ: Windows HPC, 16 cores (AMD Opteron
+  2.3 GHz), 16 GB/node (Section 5.2).
+* ``gtm-hadoop`` — GTM Hadoop: 24-core (Intel Xeon 2.4 GHz), 48 GB/node,
+  configured to use only 8 cores per node (Section 6.2).
+* ``gtm-dryad`` — GTM DryadLINQ: 16-core (AMD Opteron 2.3 GHz), 16 GB/node
+  (Section 6.2).
+* ``internal-tco`` — the cost-comparison cluster: 32 nodes x 24 cores,
+  48 GB/node, Infiniband, ~$500k purchase + ~$150k/yr maintenance
+  (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance_types import MachineModel
+
+__all__ = ["CLUSTERS", "ClusterSpec", "NodeSpec", "get_cluster"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One bare-metal node type."""
+
+    name: str
+    machine: MachineModel
+    usable_cores: int | None = None  # e.g. GTM-Hadoop caps at 8 of 24
+
+    def __post_init__(self) -> None:
+        if self.usable_cores is not None and not (
+            1 <= self.usable_cores <= self.machine.cores
+        ):
+            raise ValueError(
+                f"usable_cores {self.usable_cores} outside "
+                f"1..{self.machine.cores}"
+            )
+
+    @property
+    def cores_for_scheduling(self) -> int:
+        """Cores the frameworks may schedule onto."""
+        return self.usable_cores or self.machine.cores
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``n_nodes`` identical nodes."""
+
+    name: str
+    node: NodeSpec
+    n_nodes: int
+    interconnect_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores_for_scheduling
+
+    def subset(self, n_nodes: int) -> "ClusterSpec":
+        """A same-hardware cluster restricted to ``n_nodes`` nodes."""
+        if not 1 <= n_nodes <= self.n_nodes:
+            raise ValueError(f"n_nodes {n_nodes} outside 1..{self.n_nodes}")
+        return ClusterSpec(
+            name=f"{self.name}[{n_nodes}]",
+            node=self.node,
+            n_nodes=n_nodes,
+            interconnect_gbps=self.interconnect_gbps,
+        )
+
+
+CLUSTERS: dict[str, ClusterSpec] = {
+    "cap3-baremetal": ClusterSpec(
+        name="cap3-baremetal",
+        node=NodeSpec(
+            name="8core-2.5GHz",
+            machine=MachineModel(
+                cores=8, clock_ghz=2.5, memory_gb=16.0,
+                mem_bandwidth_gbps=10.0, os="linux", disk_mbps=100.0,
+            ),
+        ),
+        n_nodes=32,
+    ),
+    # DryadLINQ Cap3 runs the same hardware under Windows HPC.
+    "cap3-baremetal-windows": ClusterSpec(
+        name="cap3-baremetal-windows",
+        node=NodeSpec(
+            name="8core-2.5GHz-win",
+            machine=MachineModel(
+                cores=8, clock_ghz=2.5, memory_gb=16.0,
+                mem_bandwidth_gbps=10.0, os="windows", disk_mbps=100.0,
+            ),
+        ),
+        n_nodes=32,
+    ),
+    "idataplex": ClusterSpec(
+        name="idataplex",
+        node=NodeSpec(
+            name="2xE5410",
+            machine=MachineModel(
+                cores=8, clock_ghz=2.33, memory_gb=16.0,
+                mem_bandwidth_gbps=10.6, os="linux", disk_mbps=100.0,
+            ),
+        ),
+        n_nodes=32,
+        interconnect_gbps=1.0,
+    ),
+    "hpc-blast": ClusterSpec(
+        name="hpc-blast",
+        node=NodeSpec(
+            name="16xOpteron2.3",
+            machine=MachineModel(
+                cores=16, clock_ghz=2.3, memory_gb=16.0,
+                mem_bandwidth_gbps=12.8, os="windows", disk_mbps=100.0,
+            ),
+        ),
+        n_nodes=16,
+    ),
+    "gtm-hadoop": ClusterSpec(
+        name="gtm-hadoop",
+        node=NodeSpec(
+            name="24xXeon2.4",
+            machine=MachineModel(
+                cores=24, clock_ghz=2.4, memory_gb=48.0,
+                mem_bandwidth_gbps=25.6, os="linux", disk_mbps=120.0,
+            ),
+            usable_cores=8,
+        ),
+        n_nodes=32,
+    ),
+    "gtm-dryad": ClusterSpec(
+        name="gtm-dryad",
+        node=NodeSpec(
+            name="16xOpteron2.3",
+            machine=MachineModel(
+                cores=16, clock_ghz=2.3, memory_gb=16.0,
+                mem_bandwidth_gbps=12.8, os="windows", disk_mbps=100.0,
+            ),
+        ),
+        n_nodes=16,
+    ),
+    "internal-tco": ClusterSpec(
+        name="internal-tco",
+        node=NodeSpec(
+            name="24core-48GB",
+            machine=MachineModel(
+                cores=24, clock_ghz=2.4, memory_gb=48.0,
+                mem_bandwidth_gbps=25.6, os="linux", disk_mbps=120.0,
+            ),
+        ),
+        n_nodes=32,
+        interconnect_gbps=40.0,  # Infiniband
+    ),
+}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up a cluster by catalog name."""
+    try:
+        return CLUSTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {name!r}; known: {sorted(CLUSTERS)}"
+        ) from None

@@ -1,0 +1,63 @@
+"""Buy-vs-lease cost model for an owned cluster (paper Section 4.3).
+
+The paper approximates the cost of a computation on an internal cluster
+by depreciating the purchase price (~$500,000) over three years, adding
+yearly maintenance (~$150,000, covering power, cooling and administration)
+and dividing by utilization: a cluster that is busy only 60 % of the time
+effectively costs each job 1/0.6 of the fully-utilized rate.
+
+The paper's reference numbers for assembling 4096 Cap3 files:
+$8.25 at 80 % utilization, $9.43 at 70 %, $11.01 at 60 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterTco"]
+
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class ClusterTco:
+    """Total-cost-of-ownership model for one owned cluster."""
+
+    purchase_cost: float = 500_000.0
+    depreciation_years: float = 3.0
+    yearly_maintenance: float = 150_000.0
+
+    def __post_init__(self) -> None:
+        if self.purchase_cost < 0 or self.yearly_maintenance < 0:
+            raise ValueError("costs must be non-negative")
+        if self.depreciation_years <= 0:
+            raise ValueError("depreciation period must be positive")
+
+    @property
+    def yearly_cost(self) -> float:
+        """Depreciation plus maintenance per year of ownership."""
+        return self.purchase_cost / self.depreciation_years + self.yearly_maintenance
+
+    def cost_per_cluster_hour(self, utilization: float) -> float:
+        """Dollars per hour of *useful* whole-cluster time.
+
+        ``utilization`` in (0, 1] is the fraction of wall-clock hours the
+        cluster spends on useful work; idle hours are overhead smeared
+        across the useful ones.
+        """
+        if not 0 < utilization <= 1:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        return self.yearly_cost / (HOURS_PER_YEAR * utilization)
+
+    def job_cost(self, wall_hours: float, utilization: float) -> float:
+        """Cost attributed to a job occupying the whole cluster for
+        ``wall_hours`` at the given average cluster utilization."""
+        if wall_hours < 0:
+            raise ValueError("wall_hours must be non-negative")
+        return wall_hours * self.cost_per_cluster_hour(utilization)
+
+    def utilization_table(
+        self, wall_hours: float, utilizations: tuple[float, ...] = (0.8, 0.7, 0.6)
+    ) -> list[tuple[float, float]]:
+        """(utilization, job cost) rows, as in the paper's Section 4.3."""
+        return [(u, self.job_cost(wall_hours, u)) for u in utilizations]

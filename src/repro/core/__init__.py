@@ -1,0 +1,27 @@
+"""The unified pleasingly-parallel framework API and analysis tools.
+
+This package is the paper's contribution surface: one
+:class:`~repro.core.application.Application` descriptor and one
+:func:`~repro.core.api.run` entry point that executes the same workload on
+any of the four backends (EC2 Classic Cloud, Azure Classic Cloud, Hadoop
+map-only, DryadLINQ select), plus the metrics (parallel efficiency,
+per-core time) and cost analyses the paper evaluates with.
+"""
+
+from repro.core.application import Application, get_application
+from repro.core.metrics import (
+    average_time_per_file_per_core,
+    parallel_efficiency,
+    speedup,
+)
+from repro.core.task import TaskRecord, TaskSpec
+
+__all__ = [
+    "Application",
+    "TaskRecord",
+    "TaskSpec",
+    "average_time_per_file_per_core",
+    "get_application",
+    "parallel_efficiency",
+    "speedup",
+]

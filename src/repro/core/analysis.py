@@ -1,0 +1,109 @@
+"""Post-run analysis of task traces.
+
+The paper's load-balancing and efficiency discussions rest on how work
+spreads over workers and time; these helpers compute those views from a
+:class:`~repro.core.task.RunResult`'s records:
+
+* :func:`completion_timeline` — tasks completed over time (the classic
+  progress S-curve; a long flat tail = stragglers or imbalance);
+* :func:`worker_utilization` — per-worker busy fraction of the makespan;
+* :func:`load_balance_index` — max/mean busy time across workers
+  (1.0 = perfect balance; the paper's Hadoop-vs-DryadLINQ contrast);
+* :func:`phase_breakdown` — aggregate download/compute/upload split,
+  showing how much of the run the cloud services cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import RunResult
+
+__all__ = [
+    "completion_timeline",
+    "gantt_text",
+    "load_balance_index",
+    "phase_breakdown",
+    "worker_utilization",
+]
+
+
+def completion_timeline(result: RunResult) -> list[tuple[float, int]]:
+    """(time, cumulative completed tasks) steps, winners only."""
+    times = sorted(r.finished_at for r in result.records if r.won)
+    return [(t, i + 1) for i, t in enumerate(times)]
+
+
+def worker_utilization(result: RunResult) -> dict[str, float]:
+    """Busy fraction per worker over the makespan (all attempts count —
+    a duplicate execution is real occupancy)."""
+    if result.makespan_seconds <= 0:
+        raise ValueError("run has no positive makespan")
+    busy: dict[str, float] = {}
+    for record in result.records:
+        busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
+    return {
+        worker: min(1.0, seconds / result.makespan_seconds)
+        for worker, seconds in busy.items()
+    }
+
+
+def load_balance_index(result: RunResult) -> float:
+    """max/mean busy seconds across workers; 1.0 is perfect balance."""
+    busy: dict[str, float] = {}
+    for record in result.records:
+        busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
+    if not busy:
+        raise ValueError("run has no task records")
+    values = list(busy.values())
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return 1.0
+    return max(values) / mean
+
+
+def gantt_text(result: RunResult, width: int = 80) -> str:
+    """ASCII Gantt chart: one row per worker, ``#`` where it was busy.
+
+    Duplicate/speculative attempts render as ``x`` so wasted work is
+    visible; idle time is ``.``.  The time axis spans the makespan.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if not result.records:
+        raise ValueError("run has no task records")
+    span = max(result.makespan_seconds, max(r.finished_at for r in result.records))
+    if span <= 0:
+        raise ValueError("run has no positive duration")
+    workers = sorted({r.worker for r in result.records})
+    scale = width / span
+    rows = []
+    label_width = max(len(w) for w in workers)
+    for worker in workers:
+        cells = ["."] * width
+        for record in result.records:
+            if record.worker != worker:
+                continue
+            start = min(width - 1, int(record.started_at * scale))
+            end = min(width, max(start + 1, int(record.finished_at * scale)))
+            mark = "#" if record.won else "x"
+            for i in range(start, end):
+                cells[i] = mark
+        rows.append(f"{worker.ljust(label_width)} |{''.join(cells)}|")
+    header = (
+        f"{''.ljust(label_width)} |0{' ' * (width - 8)}{span:7.0f}s"
+    )
+    return "\n".join([header] + rows)
+
+
+def phase_breakdown(result: RunResult) -> dict[str, float]:
+    """Fractions of total per-task time spent in each phase."""
+    download = sum(r.download_time for r in result.records)
+    compute = sum(r.compute_time for r in result.records)
+    upload = sum(r.upload_time for r in result.records)
+    total = download + compute + upload
+    if total <= 0:
+        raise ValueError("run has no recorded task time")
+    return {
+        "download": download / total,
+        "compute": compute / total,
+        "upload": upload / total,
+    }

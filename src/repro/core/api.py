@@ -1,0 +1,73 @@
+"""The one-call public API.
+
+::
+
+    from repro.core.api import run
+    from repro.core.application import get_application
+    from repro.workloads.genome import cap3_task_specs
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(n_files=200, reads_per_file=200)
+    result = run(app, tasks, backend="ec2", n_instances=2)
+    print(result.makespan_seconds, result.billing.total_cost)
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.core.backends import Backend, make_backend
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.task import RunResult, TaskSpec
+
+__all__ = ["evaluate", "run"]
+
+
+def run(
+    app: Application,
+    tasks: list[TaskSpec],
+    backend: "str | Backend" = "ec2",
+    **backend_kwargs,
+) -> RunResult:
+    """Run ``tasks`` through ``app`` on the chosen backend.
+
+    ``backend`` is a registry name (``ec2``, ``azure``, ``hadoop``,
+    ``dryadlinq``, ``local``) with optional configuration kwargs, or a
+    pre-built :class:`~repro.core.backends.Backend` instance.
+    """
+    if isinstance(backend, str):
+        backend = make_backend(backend, **backend_kwargs)
+    elif backend_kwargs:
+        raise TypeError(
+            "backend kwargs are only accepted with a backend name, "
+            "not a pre-built backend instance"
+        )
+    return backend.run(app, tasks)
+
+
+def evaluate(
+    app: Application,
+    tasks: list[TaskSpec],
+    backend: "str | Backend" = "ec2",
+    **backend_kwargs,
+) -> dict[str, float]:
+    """Run and compute the paper's metrics in one call.
+
+    Returns makespan, T1, parallel efficiency (Eq. 1) and the average
+    time per file per core (Eq. 2).
+    """
+    if isinstance(backend, str):
+        backend = make_backend(backend, **backend_kwargs)
+    result = backend.run(app, tasks)
+    t1 = backend.estimate_sequential_time(app, tasks)
+    cores = backend.total_cores
+    return {
+        "makespan_seconds": result.makespan_seconds,
+        "t1_seconds": t1,
+        "cores": float(cores),
+        "parallel_efficiency": parallel_efficiency(
+            t1, result.makespan_seconds, cores
+        ),
+        "avg_time_per_file_per_core": average_time_per_file_per_core(
+            result.makespan_seconds, cores, len(tasks)
+        ),
+    }

@@ -1,0 +1,91 @@
+"""Application descriptors: what the frameworks need to know to run one.
+
+An :class:`Application` ties together the pieces each backend consumes:
+
+* the calibrated :class:`~repro.apps.perfmodels.TaskPerfModel` (simulated
+  backends);
+* a factory for the real :class:`~repro.apps.executables.Executable`
+  (local backend);
+* the startup *preload* — e.g. BLAST workers download and extract the
+  compressed NR database to local disk before taking any task.  Per the
+  paper, preload time is tracked but excluded from reported compute time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.apps.executables import Executable
+from repro.apps.perfmodels import APP_PERF_MODELS, TaskPerfModel
+
+__all__ = ["Application", "get_application"]
+
+# BLAST database: 8.7 GB uncompressed, 2.9 GB compressed download.
+_BLAST_DB_DOWNLOAD_BYTES = int(2.9 * 1024**3)
+_BLAST_DB_EXTRACT_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class Application:
+    """Everything a backend needs to schedule one application."""
+
+    name: str
+    perf_model: TaskPerfModel
+    executable_factory: Callable[[], Executable] | None = None
+    preload_bytes: int = 0  # downloaded once per worker/node at startup
+    preload_extract_seconds: float = 0.0
+    threads_per_worker: int = 1  # intra-task threads (blastp -num_threads)
+
+    def __post_init__(self) -> None:
+        if self.preload_bytes < 0:
+            raise ValueError("preload_bytes must be non-negative")
+        if self.threads_per_worker < 1:
+            raise ValueError("threads_per_worker must be >= 1")
+
+    def with_threads(self, threads: int) -> "Application":
+        """Copy of this application using ``threads`` per worker."""
+        from dataclasses import replace
+
+        return replace(self, threads_per_worker=threads)
+
+    def make_executable(self) -> Executable:
+        """Instantiate the real executable (local backend only)."""
+        if self.executable_factory is None:
+            raise ValueError(
+                f"application {self.name!r} has no local executable; "
+                "construct one with an executable_factory to run locally"
+            )
+        return self.executable_factory()
+
+
+def get_application(
+    name: str,
+    executable_factory: Callable[[], Executable] | None = None,
+    threads_per_worker: int = 1,
+) -> Application:
+    """Build the standard descriptor for ``cap3``, ``blast`` or ``gtm``.
+
+    ``executable_factory`` is required only for local-mode execution
+    (the BLAST and GTM executables need a database / trained model that
+    the caller owns).
+    """
+    try:
+        perf_model = APP_PERF_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(APP_PERF_MODELS)}"
+        ) from None
+    preload_bytes = 0
+    extract = 0.0
+    if name == "blast":
+        preload_bytes = _BLAST_DB_DOWNLOAD_BYTES
+        extract = _BLAST_DB_EXTRACT_SECONDS
+    return Application(
+        name=name,
+        perf_model=perf_model,
+        executable_factory=executable_factory,
+        preload_bytes=preload_bytes,
+        preload_extract_seconds=extract,
+        threads_per_worker=threads_per_worker,
+    )

@@ -1,0 +1,65 @@
+"""Cost analyses: the paper's Table 4 and Section 4.3 comparison.
+
+Combines the cloud billing reports with the owned-cluster TCO model to
+answer the paper's question: what does assembling 4096 FASTA files cost
+on EC2, on Azure, and on a cluster you already own at various
+utilizations?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.billing import BillingReport
+from repro.cluster.tco import ClusterTco
+
+__all__ = ["CostComparison", "cloud_vs_cluster"]
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """The Table 4 + Section 4.3 bundle."""
+
+    aws: BillingReport
+    azure: BillingReport
+    cluster_wall_hours: float
+    cluster_costs: tuple[tuple[float, float], ...]  # (utilization, $)
+
+    def table4_rows(self) -> list[tuple[str, str, str]]:
+        """(line item, AWS $, Azure $) rows in the paper's layout."""
+        rows = []
+        for (label, aws_value), (_, azure_value) in zip(
+            self.aws.rows(), self.azure.rows()
+        ):
+            rows.append((label, f"{aws_value:.2f} $", f"{azure_value:.2f} $"))
+        return rows
+
+    def cluster_rows(self) -> list[tuple[str, str]]:
+        """(utilization label, $) rows for the owned cluster."""
+        return [
+            (f"{int(u * 100)}% utilization", f"{cost:.2f} $")
+            for u, cost in self.cluster_costs
+        ]
+
+
+def cloud_vs_cluster(
+    aws_report: BillingReport,
+    azure_report: BillingReport,
+    cluster_wall_hours: float,
+    tco: ClusterTco | None = None,
+    utilizations: tuple[float, ...] = (0.8, 0.7, 0.6),
+) -> CostComparison:
+    """Assemble the comparison from measured runs.
+
+    ``cluster_wall_hours`` is the whole-cluster wall time of the same job
+    on the owned cluster (e.g. from the Hadoop simulator).
+    """
+    tco = tco or ClusterTco()
+    return CostComparison(
+        aws=aws_report,
+        azure=azure_report,
+        cluster_wall_hours=cluster_wall_hours,
+        cluster_costs=tuple(
+            (u, tco.job_cost(cluster_wall_hours, u)) for u in utilizations
+        ),
+    )

@@ -1,0 +1,127 @@
+"""Experiment drivers: the sweeps behind every figure in the paper.
+
+* :func:`instance_type_study` — run one workload over several deployment
+  shapes of equal core count and report time + the two cost views
+  (Figures 3/4, 7/8, 12/13, and the Azure Figure 9).
+* :func:`scalability_study` — grow the workload with the core count and
+  report parallel efficiency (Eq. 1) and per-file per-core time (Eq. 2)
+  (Figures 5/6, 10/11, 14/15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.application import Application
+from repro.core.backends import Backend
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.task import TaskSpec
+
+__all__ = [
+    "InstanceStudyRow",
+    "ScalingPoint",
+    "instance_type_study",
+    "scalability_study",
+]
+
+
+@dataclass(frozen=True)
+class InstanceStudyRow:
+    """One bar of an instance-type figure."""
+
+    label: str  # e.g. "HCXL - 2 x 8"
+    compute_time_s: float
+    compute_cost: float  # full started hours (the paper's 'hour units')
+    amortized_cost: float
+    total_cost: float
+    per_core_time_s: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.label,
+            self.compute_time_s,
+            self.compute_cost,
+            self.amortized_cost,
+        )
+
+
+def instance_type_study(
+    app: Application,
+    backends: Sequence[Backend],
+    tasks: list[TaskSpec],
+) -> list[InstanceStudyRow]:
+    """Run the same task set on each deployment shape.
+
+    The paper holds total cores at 16 and varies the instance type;
+    callers are responsible for choosing backends honouring that.
+    """
+    rows = []
+    for backend in backends:
+        result = backend.run(app, tasks)
+        billing = result.billing
+        label = getattr(getattr(backend, "config", None), "label", backend.name)
+        rows.append(
+            InstanceStudyRow(
+                label=label,
+                compute_time_s=result.makespan_seconds,
+                compute_cost=billing.compute_cost if billing else 0.0,
+                amortized_cost=(
+                    billing.total_amortized_cost if billing else 0.0
+                ),
+                total_cost=billing.total_cost if billing else 0.0,
+                per_core_time_s=average_time_per_file_per_core(
+                    result.makespan_seconds, backend.total_cores, len(tasks)
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One x-position of an efficiency / per-core-time figure."""
+
+    backend: str
+    cores: int
+    n_tasks: int
+    makespan_s: float
+    t1_s: float
+    efficiency: float
+    per_file_per_core_s: float
+
+
+def scalability_study(
+    app: Application,
+    backend_factory: Callable[[int], Backend],
+    core_counts: Sequence[int],
+    tasks_for: Callable[[int], list[TaskSpec]],
+) -> list[ScalingPoint]:
+    """Weak-scaling sweep in the paper's style.
+
+    ``backend_factory(cores)`` builds a deployment with that many cores;
+    ``tasks_for(cores)`` supplies the (growing) workload — the paper
+    replicates its data set so workload scales with the fleet.
+    """
+    points = []
+    for cores in core_counts:
+        backend = backend_factory(cores)
+        tasks = tasks_for(cores)
+        result = backend.run(app, tasks)
+        t1 = backend.estimate_sequential_time(app, tasks)
+        points.append(
+            ScalingPoint(
+                backend=backend.name,
+                cores=backend.total_cores,
+                n_tasks=len(tasks),
+                makespan_s=result.makespan_seconds,
+                t1_s=t1,
+                efficiency=parallel_efficiency(
+                    t1, result.makespan_seconds, backend.total_cores
+                ),
+                per_file_per_core_s=average_time_per_file_per_core(
+                    result.makespan_seconds, backend.total_cores, len(tasks)
+                ),
+            )
+        )
+    return points

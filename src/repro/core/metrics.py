@@ -1,0 +1,52 @@
+"""Evaluation metrics from the paper's Section 3.
+
+* Equation 1 — parallel efficiency on P cores::
+
+      efficiency = T1 / (P * Tp)
+
+  where ``Tp`` is the parallel run time and ``T1`` the best sequential
+  run time on the same environment and data (measured with inputs on
+  local disk, i.e. no transfer overheads).
+
+* Equation 2 — average run time per computation per core::
+
+      avg = Tp * P / n_computations
+
+  "to give readers an idea of the actual performance they can obtain
+  from a given environment."
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "average_time_per_file_per_core",
+    "parallel_efficiency",
+    "speedup",
+]
+
+
+def parallel_efficiency(t1_seconds: float, tp_seconds: float, cores: int) -> float:
+    """Equation 1: ``T1 / (P * Tp)``."""
+    if t1_seconds <= 0 or tp_seconds <= 0:
+        raise ValueError("run times must be positive")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return t1_seconds / (cores * tp_seconds)
+
+
+def speedup(t1_seconds: float, tp_seconds: float) -> float:
+    """Classic speedup ``T1 / Tp``."""
+    if t1_seconds <= 0 or tp_seconds <= 0:
+        raise ValueError("run times must be positive")
+    return t1_seconds / tp_seconds
+
+
+def average_time_per_file_per_core(
+    tp_seconds: float, cores: int, n_computations: int
+) -> float:
+    """Equation 2: ``Tp * P / num computations``."""
+    if tp_seconds < 0:
+        raise ValueError("Tp must be non-negative")
+    if cores < 1 or n_computations < 1:
+        raise ValueError("cores and n_computations must be >= 1")
+    return tp_seconds * cores / n_computations

@@ -1,0 +1,38 @@
+"""Microsoft DryadLINQ substrate (simulated + local mini runtime).
+
+Dryad expresses computations as directed acyclic dataflow graphs of
+vertices; DryadLINQ compiles LINQ queries to those graphs.  The paper's
+framework applies the DryadLINQ ``Select`` operator over manually
+partitioned data stored in Windows shared directories.  Properties
+modelled, per the paper:
+
+* **manual data partitioning** (:mod:`repro.dryad.partitions`) — data is
+  split and distributed to node-local shared directories ahead of time,
+  with generated partition metadata files;
+* **static node-level task partitions** (:mod:`repro.dryad.dryadlinq`) —
+  each node owns its partition for the duration of the job; there is no
+  cross-node work stealing, which is exactly why the paper finds
+  DryadLINQ's load balancing suboptimal on inhomogeneous data;
+* **failure handling** — failed vertices re-execute, slow vertices get
+  duplicates.
+"""
+
+from repro.dryad.dryadlinq import (
+    DryadLinqConfig,
+    DryadLinqSimulator,
+    DryadTable,
+    LocalDryadLinq,
+)
+from repro.dryad.graph import DryadGraph, Vertex
+from repro.dryad.partitions import PartitionSet, partition_tasks
+
+__all__ = [
+    "DryadGraph",
+    "DryadLinqConfig",
+    "DryadLinqSimulator",
+    "DryadTable",
+    "LocalDryadLinq",
+    "PartitionSet",
+    "Vertex",
+    "partition_tasks",
+]

@@ -1,0 +1,95 @@
+"""Dryad computation graphs: vertices, channels, staging.
+
+A Dryad job is a DAG whose vertices are sequential programs and whose
+edges are communication channels.  The pleasingly parallel Select use
+case only needs single-stage graphs, but the model is general: stages
+are computed by topological layering, and cycles are rejected — the
+properties any Dryad scheduler relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["DryadGraph", "Vertex"]
+
+
+@dataclass
+class Vertex:
+    """One vertex: a sequential computation bound to a node's data."""
+
+    vertex_id: str
+    kind: str = "select"
+    payload: Any = None
+    preferred_node: int | None = None  # data-locality hint
+
+
+class DryadGraph:
+    """A directed acyclic graph of vertices and channels."""
+
+    def __init__(self):
+        self._vertices: dict[str, Vertex] = {}
+        self._out: dict[str, list[str]] = {}
+        self._in: dict[str, list[str]] = {}
+
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        if vertex.vertex_id in self._vertices:
+            raise ValueError(f"duplicate vertex {vertex.vertex_id!r}")
+        self._vertices[vertex.vertex_id] = vertex
+        self._out[vertex.vertex_id] = []
+        self._in[vertex.vertex_id] = []
+        return vertex
+
+    def add_channel(self, src: str, dst: str) -> None:
+        """A communication edge from ``src`` to ``dst``."""
+        if src not in self._vertices or dst not in self._vertices:
+            raise KeyError("both endpoints must exist")
+        if src == dst:
+            raise ValueError("self-channels are not allowed")
+        self._out[src].append(dst)
+        self._in[dst].append(src)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex_id: str) -> bool:
+        return vertex_id in self._vertices
+
+    def vertex(self, vertex_id: str) -> Vertex:
+        return self._vertices[vertex_id]
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._vertices.values())
+
+    def predecessors(self, vertex_id: str) -> list[str]:
+        return list(self._in[vertex_id])
+
+    def successors(self, vertex_id: str) -> list[str]:
+        return list(self._out[vertex_id])
+
+    def stages(self) -> list[list[Vertex]]:
+        """Topological layers (vertices with no remaining inputs first).
+
+        Raises ``ValueError`` if the graph has a cycle.
+        """
+        in_degree = {v: len(self._in[v]) for v in self._vertices}
+        frontier = deque(
+            sorted(v for v, d in in_degree.items() if d == 0)
+        )
+        layers: list[list[Vertex]] = []
+        seen = 0
+        while frontier:
+            layer = sorted(frontier)
+            frontier.clear()
+            layers.append([self._vertices[v] for v in layer])
+            seen += len(layer)
+            for v in layer:
+                for succ in self._out[v]:
+                    in_degree[succ] -= 1
+                    if in_degree[succ] == 0:
+                        frontier.append(succ)
+        if seen != len(self._vertices):
+            raise ValueError("graph contains a cycle")
+        return layers

@@ -1,0 +1,92 @@
+"""Manual data partitioning for DryadLINQ (paper Section 2.3).
+
+"Data for the computations need to be partitioned manually and stored
+beforehand in the local disks of the computational nodes via Windows
+shared directories.  Data partitioning, distribution and the generation
+of metadata files for the data partitions is implemented as part of our
+pleasingly parallel application framework."
+
+:func:`partition_tasks` is that partitioner: contiguous, near-equal *by
+file count* (the static policy whose load imbalance the paper measures),
+and :func:`PartitionSet.write_metadata` emits the per-partition metadata
+files a DryadLINQ partitioned table requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.task import TaskSpec
+
+__all__ = ["PartitionSet", "partition_tasks"]
+
+
+@dataclass(frozen=True)
+class PartitionSet:
+    """Tasks statically divided across nodes."""
+
+    partitions: tuple[tuple[TaskSpec, ...], ...]
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def partition_for_node(self, node: int) -> tuple[TaskSpec, ...]:
+        return self.partitions[node]
+
+    def sizes(self) -> list[int]:
+        """File counts per partition."""
+        return [len(p) for p in self.partitions]
+
+    def work_per_partition(self) -> list[float]:
+        """Total work units per partition — the imbalance diagnostic."""
+        return [sum(t.work_units for t in p) for p in self.partitions]
+
+    def imbalance(self) -> float:
+        """max/mean work ratio (1.0 = perfectly balanced)."""
+        work = self.work_per_partition()
+        mean = sum(work) / len(work)
+        return max(work) / mean if mean > 0 else 1.0
+
+    def write_metadata(self, directory: str | Path) -> list[Path]:
+        """Write one ``partition.NNN.pt`` metadata file per partition.
+
+        Format (one line per file): ``<task id>\\t<input path>\\t<bytes>``,
+        with a header naming the partition — the shape DryadLINQ's
+        partitioned-table loader consumes.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for i, partition in enumerate(self.partitions):
+            lines = [f"#partition\t{i}\t{len(partition)}"]
+            lines.extend(
+                f"{t.task_id}\t{t.input_key}\t{t.input_size}" for t in partition
+            )
+            path = directory / f"partition.{i:03d}.pt"
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            paths.append(path)
+        return paths
+
+
+def partition_tasks(tasks: list[TaskSpec], n_partitions: int) -> PartitionSet:
+    """Split ``tasks`` into contiguous near-equal partitions by count.
+
+    This is deliberately count-based, not work-based: the real system
+    partitions files without knowing their processing cost, which is
+    precisely why inhomogeneous workloads unbalance DryadLINQ.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    if not tasks:
+        raise ValueError("no tasks to partition")
+    n = len(tasks)
+    base, extra = divmod(n, n_partitions)
+    partitions = []
+    start = 0
+    for i in range(n_partitions):
+        count = base + (1 if i < extra else 0)
+        partitions.append(tuple(tasks[start : start + count]))
+        start += count
+    return PartitionSet(partitions=tuple(partitions))

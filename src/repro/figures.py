@@ -1,0 +1,255 @@
+"""Programmatic regeneration of the paper's figures.
+
+One function per evaluation artifact, each returning the printable table
+text.  The benchmark suite asserts shapes on the same underlying
+studies; this module is the lightweight CLI/table surface
+(``python -m repro figures <id>``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cloud.failures import FaultPlan
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.experiment import instance_type_study, scalability_study
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.core.report import format_series, format_table
+
+__all__ = ["FIGURES", "available_figures", "render_figure"]
+
+# The paper's 16-core EC2 deployment shapes.
+_EC2_SHAPES = [("L", 8, 2), ("XL", 4, 4), ("HCXL", 2, 8), ("HM4XL", 2, 8)]
+
+
+def _quiet(backend: str, **kwargs):
+    kwargs.setdefault("fault_plan", FaultPlan.none())
+    kwargs.setdefault("seed", 17)
+    return make_backend(backend, **kwargs)
+
+
+def _ec2_16core_backends():
+    return [
+        _quiet(
+            "ec2",
+            instance_type=itype,
+            n_instances=n,
+            workers_per_instance=w,
+        )
+        for itype, n, w in _EC2_SHAPES
+    ]
+
+
+def _instance_figure(app_name: str, tasks, title: str) -> str:
+    app = get_application(app_name)
+    rows = instance_type_study(app, _ec2_16core_backends(), tasks)
+    return format_table(
+        ["deployment", "compute time (s)", "cost $ (hour units)",
+         "amortized $"],
+        [
+            [r.label, f"{r.compute_time_s:,.0f}", f"{r.compute_cost:.2f}",
+             f"{r.amortized_cost:.2f}"]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def fig3_4() -> str:
+    """Cap3 cost/time across EC2 instance types."""
+    from repro.workloads.genome import cap3_task_specs
+
+    return _instance_figure(
+        "cap3",
+        cap3_task_specs(200, reads_per_file=200),
+        "Figures 3+4: Cap3 on EC2 instance types",
+    )
+
+
+def fig5_6() -> str:
+    """Cap3 parallel efficiency and per-file time, four frameworks."""
+    from repro.workloads.genome import cap3_task_specs
+
+    app = get_application("cap3")
+    core_counts = [32, 64, 128]
+    factories: dict[str, Callable] = {
+        "EC2": lambda cores: _quiet("ec2", n_instances=cores // 8),
+        "Azure": lambda cores: _quiet("azure", n_instances=cores),
+        "Hadoop": lambda cores: make_backend(
+            "hadoop", cluster=get_cluster("cap3-baremetal").subset(cores // 8)
+        ),
+        "DryadLINQ": lambda cores: make_backend(
+            "dryadlinq",
+            cluster=get_cluster("cap3-baremetal-windows").subset(cores // 8),
+        ),
+    }
+
+    def tasks_for(cores):
+        return cap3_task_specs(cores * 4, reads_per_file=458)
+
+    efficiency, per_file = {}, {}
+    for name, factory in factories.items():
+        points = scalability_study(app, factory, core_counts, tasks_for)
+        efficiency[name] = {p.cores: p.efficiency for p in points}
+        per_file[name] = {p.cores: p.per_file_per_core_s for p in points}
+    return (
+        format_series("cores", efficiency,
+                      title="Figure 5: Cap3 parallel efficiency")
+        + "\n\n"
+        + format_series("cores", per_file, value_format="{:.1f}",
+                        title="Figure 6: Cap3 per-file per-core time (s)")
+    )
+
+
+def fig7_8() -> str:
+    """BLAST cost/time across EC2 instance types."""
+    from repro.workloads.protein import blast_task_specs
+
+    return _instance_figure(
+        "blast",
+        blast_task_specs(64, inhomogeneous_base=False, seed=3),
+        "Figures 7+8: BLAST on EC2 instance types",
+    )
+
+
+def fig9() -> str:
+    """BLAST across Azure instance types, workers x threads."""
+    from repro.workloads.protein import blast_task_specs
+
+    app = get_application("blast")
+    tasks = blast_task_specs(8, inhomogeneous_base=False, seed=4)
+    shapes = [
+        ("Small", 8, 1, 1), ("Medium", 4, 2, 1), ("Large", 2, 4, 1),
+        ("Large", 2, 1, 4), ("ExtraLarge", 1, 8, 1), ("ExtraLarge", 1, 1, 8),
+    ]
+    rows = []
+    for itype, n, workers, threads in shapes:
+        backend = _quiet(
+            "azure",
+            instance_type=itype,
+            n_instances=n,
+            workers_per_instance=workers,
+            threads_per_worker=threads,
+        )
+        result = backend.run(app.with_threads(threads), tasks)
+        rows.append(
+            [f"{itype} {workers}x{threads}", f"{result.makespan_seconds:,.0f}"]
+        )
+    return format_table(
+        ["shape (workers x threads)", "time (s)"], rows,
+        title="Figure 9: BLAST on Azure instance types",
+    )
+
+
+def fig10_11() -> str:
+    """BLAST scalability across the four platforms."""
+    from repro.workloads.protein import blast_task_specs
+
+    app = get_application("blast")
+    backends = {
+        "EC2": _quiet("ec2", n_instances=16),
+        "Azure": _quiet(
+            "azure", instance_type="Large", n_instances=16,
+            workers_per_instance=4,
+        ),
+        "Hadoop": make_backend(
+            "hadoop", cluster=get_cluster("idataplex").subset(16)
+        ),
+        "DryadLINQ": make_backend(
+            "dryadlinq", cluster=get_cluster("hpc-blast").subset(8)
+        ),
+    }
+    efficiency, per_file = {}, {}
+    for name, backend in backends.items():
+        efficiency[name], per_file[name] = {}, {}
+        for n_files in (128, 256, 384):
+            tasks = blast_task_specs(n_files, seed=6)
+            result = backend.run(app, tasks)
+            t1 = backend.estimate_sequential_time(app, tasks)
+            efficiency[name][n_files] = parallel_efficiency(
+                t1, result.makespan_seconds, backend.total_cores
+            )
+            per_file[name][n_files] = average_time_per_file_per_core(
+                result.makespan_seconds, backend.total_cores, n_files
+            )
+    return (
+        format_series("query files", efficiency,
+                      title="Figure 10: BLAST parallel efficiency")
+        + "\n\n"
+        + format_series("query files", per_file, value_format="{:.1f}",
+                        title="Figure 11: BLAST per-file per-core time (s)")
+    )
+
+
+def fig12_13() -> str:
+    """GTM cost/time across EC2 instance types."""
+    from repro.workloads.pubchem import gtm_task_specs
+
+    return _instance_figure(
+        "gtm",
+        gtm_task_specs(64),
+        "Figures 12+13: GTM Interpolation on EC2 instance types",
+    )
+
+
+def fig14_15() -> str:
+    """GTM efficiency across platforms."""
+    from repro.workloads.pubchem import gtm_task_specs
+
+    app = get_application("gtm")
+    tasks = gtm_task_specs(264)
+    backends = {
+        "Azure Small": _quiet("azure", n_instances=64),
+        "EC2 Large": _quiet(
+            "ec2", instance_type="L", n_instances=32, workers_per_instance=2
+        ),
+        "EC2 HCXL": _quiet("ec2", n_instances=8),
+        "Hadoop": make_backend(
+            "hadoop", cluster=get_cluster("gtm-hadoop").subset(8)
+        ),
+        "DryadLINQ": make_backend(
+            "dryadlinq", cluster=get_cluster("gtm-dryad").subset(4)
+        ),
+    }
+    rows = []
+    for name, backend in backends.items():
+        result = backend.run(app, tasks)
+        t1 = backend.estimate_sequential_time(app, tasks)
+        rows.append(
+            [name, backend.total_cores,
+             f"{parallel_efficiency(t1, result.makespan_seconds, backend.total_cores):.3f}",
+             f"{average_time_per_file_per_core(result.makespan_seconds, backend.total_cores, len(tasks)):.1f}"]
+        )
+    return format_table(
+        ["platform", "cores", "efficiency", "s/file/core"], rows,
+        title="Figures 14+15: GTM Interpolation across platforms",
+    )
+
+
+FIGURES: dict[str, Callable[[], str]] = {
+    "fig3_4": fig3_4,
+    "fig5_6": fig5_6,
+    "fig7_8": fig7_8,
+    "fig9": fig9,
+    "fig10_11": fig10_11,
+    "fig12_13": fig12_13,
+    "fig14_15": fig14_15,
+}
+
+
+def available_figures() -> list[str]:
+    """Figure identifiers accepted by :func:`render_figure`."""
+    return sorted(FIGURES)
+
+
+def render_figure(figure_id: str) -> str:
+    """Regenerate one figure's table text."""
+    try:
+        renderer = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; available: {available_figures()}"
+        ) from None
+    return renderer()

@@ -1,0 +1,33 @@
+"""Apache Hadoop MapReduce substrate (simulated + local mini runtime).
+
+Models the properties the paper leans on:
+
+* **HDFS** (:mod:`repro.hadoop.hdfs`) — files stored as replicated blocks
+  across the compute nodes' local disks, exposing block locations so the
+  scheduler can compute near the data;
+* **map-only jobs** (:mod:`repro.hadoop.job`) — the paper's pleasingly
+  parallel framework on Hadoop: a global task queue, data-locality-aware
+  dynamic scheduling (natural load balancing), speculative execution of
+  slow tasks and re-execution of failed ones;
+* **custom input format** (:mod:`repro.hadoop.inputformat`) — the paper's
+  InputFormat/RecordReader pair that hands the *file name and path* to the
+  map function instead of file contents, so legacy executables can be
+  driven;
+* **MiniHadoop** (:class:`repro.hadoop.job.MiniHadoop`) — a local
+  thread-pool runtime executing real map functions over real files with
+  the same scheduling contract.
+"""
+
+from repro.hadoop.hdfs import HdfsClient, HdfsFile
+from repro.hadoop.inputformat import FileNameInputFormat, FileNameRecordReader
+from repro.hadoop.job import HadoopJobConfig, HadoopSimulator, MiniHadoop
+
+__all__ = [
+    "FileNameInputFormat",
+    "FileNameRecordReader",
+    "HadoopJobConfig",
+    "HadoopSimulator",
+    "HdfsClient",
+    "HdfsFile",
+    "MiniHadoop",
+]

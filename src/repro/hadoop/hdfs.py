@@ -1,0 +1,118 @@
+"""HDFS model: replicated block placement with locality metadata.
+
+The pieces Hadoop's scheduler needs: which nodes hold a copy of each
+file's data (the paper's task files are far below the 64 MB block size,
+so one file = one block), how fast a local read is (node disk) versus a
+remote read (network + remote disk), and rebalancing on placement.
+
+Placement follows HDFS's default policy shape for external writes: the
+replicas land on randomly chosen distinct nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HdfsClient", "HdfsFile"]
+
+
+@dataclass(frozen=True)
+class HdfsFile:
+    """One stored file (single block) and its replica locations."""
+
+    key: str
+    size: int
+    replicas: tuple[int, ...]  # node indices
+
+
+@dataclass
+class HdfsStats:
+    local_reads: int = 0
+    remote_reads: int = 0
+    bytes_read_local: int = 0
+    bytes_read_remote: int = 0
+
+
+class HdfsClient:
+    """A simulated HDFS namespace over ``n_nodes`` datanodes."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rng: np.random.Generator,
+        replication: int = 3,
+        disk_mbps: float = 100.0,
+        network_gbps: float = 1.0,
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one datanode")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.n_nodes = n_nodes
+        self.replication = min(replication, n_nodes)
+        self.rng = rng
+        self.disk_bps = disk_mbps * 1e6
+        self.network_bps = network_gbps * 1e9 / 8.0
+        self.files: dict[str, HdfsFile] = {}
+        self.stats = HdfsStats()
+        self._node_bytes = np.zeros(n_nodes, dtype=np.int64)
+
+    # -- namespace -----------------------------------------------------------
+    def put(self, key: str, size: int) -> HdfsFile:
+        """Store a file; replicas placed on distinct random nodes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if key in self.files:
+            raise FileExistsError(key)
+        replicas = tuple(
+            int(i)
+            for i in self.rng.choice(
+                self.n_nodes, size=self.replication, replace=False
+            )
+        )
+        hdfs_file = HdfsFile(key=key, size=size, replicas=replicas)
+        self.files[key] = hdfs_file
+        for node in replicas:
+            self._node_bytes[node] += size
+        return hdfs_file
+
+    def locations(self, key: str) -> tuple[int, ...]:
+        """Nodes holding a replica of ``key``."""
+        return self.files[key].replicas
+
+    def is_local(self, key: str, node: int) -> bool:
+        """Whether ``node`` holds a replica of ``key``."""
+        return node in self.files[key].replicas
+
+    def node_utilization(self) -> np.ndarray:
+        """Bytes stored per node (placement-balance diagnostics)."""
+        return self._node_bytes.copy()
+
+    # -- timing ---------------------------------------------------------------
+    def read_seconds(self, key: str, node: int) -> float:
+        """Time for ``node`` to read the file — local disk if a replica
+        is present, otherwise network transfer from a replica holder
+        (plus the remote disk read)."""
+        hdfs_file = self.files[key]
+        if node in hdfs_file.replicas:
+            self.stats.local_reads += 1
+            self.stats.bytes_read_local += hdfs_file.size
+            return hdfs_file.size / self.disk_bps
+        self.stats.remote_reads += 1
+        self.stats.bytes_read_remote += hdfs_file.size
+        return hdfs_file.size / self.disk_bps + hdfs_file.size / self.network_bps
+
+    def write_seconds(self, size: int) -> float:
+        """Time to write a file (local disk; the replication pipeline
+        streams to other nodes concurrently, so the local write paces)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return size / self.disk_bps
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of reads served from local disk."""
+        total = self.stats.local_reads + self.stats.remote_reads
+        return self.stats.local_reads / total if total else 1.0

@@ -1,0 +1,393 @@
+"""Map-only Hadoop jobs: the simulator and the local mini runtime.
+
+The simulated :class:`HadoopSimulator` implements the scheduling policies
+the paper credits for Hadoop's behaviour:
+
+* a **global task queue** consumed by per-node map slots — dynamic
+  scheduling, "achieving natural load balancing among the tasks";
+* **data locality**: a free slot prefers a pending task whose input block
+  resides on its node (non-local tasks pay a network read);
+* **speculative execution**: when the queue drains, free slots launch
+  backup copies of the slowest running tasks; the first finisher wins;
+* **failure handling**: failed attempts are re-queued (bounded retries).
+
+:class:`MiniHadoop` is the real-execution counterpart: a thread pool of
+map slots drives executables through the paper's custom
+InputFormat/RecordReader over real files.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.apps.executables import Executable
+from repro.apps.perfmodels import task_runtime_seconds
+from repro.cluster.spec import ClusterSpec
+from repro.core.application import Application
+from repro.core.task import RunResult, TaskRecord, TaskSpec
+from repro.hadoop.hdfs import HdfsClient
+from repro.hadoop.inputformat import FileNameInputFormat
+from repro.sim.engine import Environment
+from repro.sim.rng import RngRegistry
+
+__all__ = ["HadoopJobConfig", "HadoopSimulator", "MiniHadoop"]
+
+
+@dataclass(frozen=True)
+class HadoopJobConfig:
+    """One Hadoop deployment + job tuning."""
+
+    cluster: ClusterSpec
+    map_slots_per_node: int | None = None  # default: schedulable cores
+    replication: int = 3
+    locality_aware: bool = True
+    speculative_execution: bool = True
+    speculative_progress_threshold: float = 0.8
+    task_failure_probability: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 5.0
+    max_attempts: int = 4
+    seed: int = 0
+    # "fifo" is Hadoop's order-of-submission scheduling; "lpt" (longest
+    # processing time first) is an extension that needs per-task work
+    # estimates — it shortens the tail on heavy-tailed workloads.
+    scheduling_policy: str = "fifo"
+
+    def __post_init__(self) -> None:
+        if self.scheduling_policy not in ("fifo", "lpt"):
+            raise ValueError(
+                f"unknown scheduling_policy {self.scheduling_policy!r}"
+            )
+        slots = self.slots_per_node
+        if slots < 1:
+            raise ValueError("map_slots_per_node must be >= 1")
+        if slots > self.cluster.node.machine.cores:
+            raise ValueError(
+                f"{slots} slots exceed the node's "
+                f"{self.cluster.node.machine.cores} cores"
+            )
+        if not 0 <= self.task_failure_probability < 1:
+            raise ValueError("task_failure_probability must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    @property
+    def slots_per_node(self) -> int:
+        if self.map_slots_per_node is not None:
+            return self.map_slots_per_node
+        return self.cluster.node.cores_for_scheduling
+
+    @property
+    def total_slots(self) -> int:
+        return self.slots_per_node * self.cluster.n_nodes
+
+
+class HadoopSimulator:
+    """Play a map-only job over the simulated cluster."""
+
+    def __init__(self, config: HadoopJobConfig):
+        self.config = config
+
+    def run(self, app: Application, tasks: list[TaskSpec]) -> RunResult:
+        if not tasks:
+            raise ValueError("no tasks to run")
+        return _HadoopRun(self.config, app, tasks).execute()
+
+    def estimate_sequential_time(
+        self, app: Application, tasks: list[TaskSpec]
+    ) -> float:
+        """T1: one uncontended slot, inputs on local disk."""
+        machine = self.config.cluster.node.machine
+        return sum(
+            task_runtime_seconds(
+                app.perf_model, t.work_units, machine, concurrent_workers=1
+            )
+            for t in tasks
+        )
+
+
+@dataclass
+class _Running:
+    """JobTracker's view of one in-flight attempt."""
+
+    task: TaskSpec
+    node: int
+    started: float
+    expected_end: float
+    speculative: bool
+    has_backup: bool = False
+
+
+class _HadoopRun:
+    def __init__(
+        self, config: HadoopJobConfig, app: Application, tasks: list[TaskSpec]
+    ):
+        self.config = config
+        self.app = app
+        self.tasks = tasks
+        self.env = Environment()
+        self.rng = RngRegistry(config.seed)
+        node = config.cluster.node
+        self.hdfs = HdfsClient(
+            config.cluster.n_nodes,
+            self.rng.stream("placement"),
+            replication=config.replication,
+            disk_mbps=node.machine.disk_mbps,
+            network_gbps=config.cluster.interconnect_gbps,
+        )
+        for task in tasks:
+            self.hdfs.put(task.input_key, task.input_size)
+        self.pending: list[TaskSpec] = list(tasks)
+        self.running: dict[str, list[_Running]] = {}
+        self.completed: set[str] = set()
+        self.attempts_used: dict[str, int] = {t.task_id: 0 for t in tasks}
+        self.records: list[TaskRecord] = []
+        self.done = self.env.event()
+
+    # -- orchestration -------------------------------------------------------
+    def execute(self) -> RunResult:
+        # Distributed-cache preload (paper Section 5): every node pulls
+        # the application's sidecar data (e.g. the compressed BLAST
+        # database) from HDFS in parallel, each bounded by its own NIC.
+        # Excluded from the measured window, as the paper excludes
+        # database distribution times.
+        preload_seconds = 0.0
+        if self.app.preload_bytes:
+            nic_bps = self.config.cluster.interconnect_gbps * 1e9 / 8.0
+            preload_seconds = (
+                self.app.preload_bytes / nic_bps
+                + self.app.preload_extract_seconds
+            )
+        for node in range(self.config.cluster.n_nodes):
+            for slot in range(self.config.slots_per_node):
+                name = f"node{node}-slot{slot}"
+                self.env.process(self._slot(node, name), name=name)
+        makespan = self.env.run(until=self.done)
+        return RunResult(
+            backend="hadoop",
+            app_name=self.app.name,
+            n_tasks=len(self.tasks),
+            makespan_seconds=makespan,
+            records=self.records,
+            extras={
+                "locality_fraction": self.hdfs.locality_fraction,
+                "local_reads": float(self.hdfs.stats.local_reads),
+                "remote_reads": float(self.hdfs.stats.remote_reads),
+                "speculative_attempts": float(
+                    sum(1 for r in self.records if r.speculative)
+                ),
+                "preload_seconds": preload_seconds,
+            },
+            completed=set(self.completed),
+        )
+
+    # -- JobTracker ------------------------------------------------------------
+    def _next_assignment(self, node: int) -> tuple[TaskSpec, bool] | None:
+        """(task, speculative?) for a free slot on ``node``, or None."""
+        if self.pending:
+            if self.config.scheduling_policy == "lpt":
+                # Longest-processing-time first, still preferring local
+                # candidates among the heavy tasks.
+                local = [
+                    i
+                    for i, task in enumerate(self.pending)
+                    if self.config.locality_aware
+                    and self.hdfs.is_local(task.input_key, node)
+                ]
+                pool = local if local else range(len(self.pending))
+                heaviest = max(pool, key=lambda i: self.pending[i].work_units)
+                return self.pending.pop(heaviest), False
+            if self.config.locality_aware:
+                for i, task in enumerate(self.pending):
+                    if self.hdfs.is_local(task.input_key, node):
+                        return self.pending.pop(i), False
+            return self.pending.pop(0), False
+        if not self.config.speculative_execution:
+            return None
+        # Queue drained: back up the running attempt with the latest
+        # expected finish whose progress is below the threshold.
+        candidates = []
+        now = self.env.now
+        for attempts in self.running.values():
+            primary = attempts[0]
+            if primary.has_backup or primary.task.task_id in self.completed:
+                continue
+            duration = primary.expected_end - primary.started
+            progress = (now - primary.started) / duration if duration > 0 else 1.0
+            if progress < self.config.speculative_progress_threshold:
+                candidates.append(primary)
+        if not candidates:
+            return None
+        victim = max(candidates, key=lambda r: r.expected_end)
+        victim.has_backup = True
+        return victim.task, True
+
+    # -- the map slot ------------------------------------------------------------
+    def _slot(self, node: int, name: str):
+        config = self.config
+        machine = config.cluster.node.machine
+        fail_rng = self.rng.stream(f"{name}-fail")
+        straggle_rng = self.rng.stream(f"{name}-straggle")
+        noise_rng = self.rng.stream(f"{name}-noise")
+        while len(self.completed) < len(self.tasks):
+            assignment = self._next_assignment(node)
+            if assignment is None:
+                yield self.env.timeout(1.0)
+                continue
+            task, speculative = assignment
+            if task.task_id in self.completed:
+                continue  # completed while we were deciding
+            started = self.env.now
+            self.attempts_used[task.task_id] += 1
+            attempt_no = self.attempts_used[task.task_id]
+
+            read_time = self.hdfs.read_seconds(task.input_key, node)
+            service = task_runtime_seconds(
+                self.app.perf_model,
+                task.work_units,
+                machine,
+                concurrent_workers=config.slots_per_node,
+            )
+            if (
+                config.straggler_probability
+                and straggle_rng.random() < config.straggler_probability
+                and not speculative
+            ):
+                service *= config.straggler_slowdown
+            service *= float(noise_rng.uniform(0.98, 1.02))
+            write_time = self.hdfs.write_seconds(task.output_size)
+            total = read_time + service + write_time
+
+            info = _Running(
+                task=task,
+                node=node,
+                started=started,
+                expected_end=started + total,
+                speculative=speculative,
+            )
+            self.running.setdefault(task.task_id, []).append(info)
+
+            fails = (
+                config.task_failure_probability
+                and fail_rng.random() < config.task_failure_probability
+            )
+            if fails:
+                # Die partway through the compute phase; re-queue.
+                yield self.env.timeout(
+                    read_time + service * float(fail_rng.uniform(0.1, 0.9))
+                )
+                self._attempt_over(task, info)
+                if task.task_id not in self.completed:
+                    if self.attempts_used[task.task_id] >= config.max_attempts:
+                        raise RuntimeError(
+                            f"task {task.task_id} failed "
+                            f"{config.max_attempts} attempts"
+                        )
+                    self.pending.append(task)
+                continue
+
+            yield self.env.timeout(total)
+            won = task.task_id not in self.completed
+            if won:
+                self.completed.add(task.task_id)
+            self._attempt_over(task, info)
+            self.records.append(
+                TaskRecord(
+                    task_id=task.task_id,
+                    worker=name,
+                    started_at=started,
+                    finished_at=self.env.now,
+                    download_time=read_time,
+                    compute_time=service,
+                    upload_time=write_time,
+                    attempt=attempt_no,
+                    was_duplicate=not won,
+                    speculative=speculative,
+                    won=won,
+                )
+            )
+            if len(self.completed) == len(self.tasks) and not self.done.triggered:
+                self.done.succeed(self.env.now)
+
+    def _attempt_over(self, task: TaskSpec, info: _Running) -> None:
+        attempts = self.running.get(task.task_id, [])
+        if info in attempts:
+            attempts.remove(info)
+        if not attempts:
+            self.running.pop(task.task_id, None)
+
+
+class MiniHadoop:
+    """Local thread-pool runtime for real map-only jobs.
+
+    Uses the paper's FileNameInputFormat: the map function receives the
+    file name (key) and path (value), mirroring how the real Hadoop
+    implementation drives legacy executables.  Like Hadoop, failed map
+    attempts re-execute up to ``max_attempts`` times before the job
+    fails.
+    """
+
+    def __init__(self, n_slots: int = 4, max_attempts: int = 4):
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.n_slots = n_slots
+        self.max_attempts = max_attempts
+
+    def run_job(
+        self,
+        executable: Executable,
+        input_dir: str | Path,
+        output_dir: str | Path,
+        pattern: str = "*",
+    ) -> RunResult:
+        """Map every file in ``input_dir`` through the executable.
+
+        Raises the final attempt's exception if any split exhausts its
+        retries (the Hadoop "job failed" condition).
+        """
+        import time
+
+        input_format = FileNameInputFormat(pattern)
+        splits = input_format.get_splits(input_dir)
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        start = time.monotonic()
+
+        def map_task(split) -> TaskRecord:
+            reader = input_format.create_record_reader(split)
+            (name, path), = list(reader)
+            last_error: Exception | None = None
+            for attempt in range(1, self.max_attempts + 1):
+                t0 = time.monotonic()
+                try:
+                    executable.run(path, output_dir / name)
+                except Exception as exc:  # re-execute failed attempts
+                    last_error = exc
+                    continue
+                t1 = time.monotonic()
+                return TaskRecord(
+                    task_id=name,
+                    worker="minihadoop",
+                    started_at=t0 - start,
+                    finished_at=t1 - start,
+                    compute_time=t1 - t0,
+                    attempt=attempt,
+                )
+            raise RuntimeError(
+                f"map task {name!r} failed {self.max_attempts} attempts"
+            ) from last_error
+
+        with ThreadPoolExecutor(max_workers=self.n_slots) as pool:
+            records = list(pool.map(map_task, splits))
+        return RunResult(
+            backend="minihadoop",
+            app_name=executable.name,
+            n_tasks=len(splits),
+            makespan_seconds=time.monotonic() - start,
+            records=records,
+            completed={r.task_id for r in records},
+        )

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, SimPy-flavoured engine used by every simulated
+substrate in this repository (cloud services, Hadoop, DryadLINQ).  Processes
+are Python generators that yield :class:`Event` objects; the engine resumes
+them when the event fires.  All ordering is deterministic: ties in simulated
+time break on an insertion sequence number, and randomness only enters
+through the named streams in :mod:`repro.sim.rng`.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

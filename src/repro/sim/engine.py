@@ -1,0 +1,406 @@
+"""Event loop, events and generator-based processes.
+
+The design follows the classic event-scheduling formulation of discrete
+event simulation.  An :class:`Environment` owns a binary heap of pending
+events keyed by ``(time, sequence)``.  A :class:`Process` wraps a Python
+generator; each value the generator yields must be an :class:`Event`, and
+the process resumes when that event fires, receiving the event's value at
+the ``yield`` expression (or the event's exception raised into it).
+
+Determinism guarantees:
+
+* events scheduled for the same simulated time fire in scheduling order;
+* no wall-clock or global-RNG access anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupting cause is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle sentinels.
+_PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events move through three states: *untriggered* (value is pending),
+    *triggered* (value set, waiting in the event heap) and *processed*
+    (callbacks have run).  Callbacks are plain callables taking the event.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception object if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception will be raised inside any process waiting on this
+        event.
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue(self, 0.0)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at t={self.env.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue(self, delay)
+
+
+class Process(Event):
+    """A running generator.  Its completion is itself an event.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event succeeds, the generator is resumed with the event's value; when it
+    fails, the exception is thrown into the generator.  When the generator
+    returns, the process event succeeds with the return value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ):
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next event-loop iteration at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._enqueue(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        # Detach from whatever we were waiting for; the stale callback is
+        # filtered in _resume via the _waiting_on check.
+        self.env._enqueue(event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # e.g. stale wakeup after an interrupt already finished us
+        if (
+            self._waiting_on is not None
+            and event is not self._waiting_on
+            and not isinstance(event.value, Interrupt)
+        ):
+            return  # stale callback from an abandoned wait
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._ok = True
+            self._value = stop.value
+            self.env._enqueue(self, 0.0)
+            return
+        except BaseException as exc:  # propagate through the process event
+            self._ok = False
+            self._value = exc
+            self.env._enqueue(self, 0.0)
+            if not self.callbacks:
+                # Nobody is waiting on this process: surface the crash.
+                raise
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        self._waiting_on = target
+        if target._processed:
+            # Already fired: resume on the next loop turn with its value.
+            immediate = Event(self.env)
+            immediate._ok = target._ok
+            immediate._value = target._value
+            immediate.callbacks.append(self._resume)
+            self._waiting_on = immediate
+            self.env._enqueue(immediate, 0.0)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._processed:
+                self._on_fire(event)
+                if self.triggered:
+                    break
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _collect(self) -> dict[Event, Any]:
+        # _processed (not merely triggered) because Timeout pre-sets its
+        # value at construction time, long before it actually fires.
+        return {e: e._value for e in self.events if e._processed and e._ok}
+
+    def _on_fire(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first constituent event fires.
+
+    Value is a dict mapping each already-fired event to its value.
+    """
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Succeeds when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: clock + event heap.
+
+    Usage::
+
+        env = Environment()
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(ticker(env))
+        env.run(until=10.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: first of ``events``."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events``."""
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none pending."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no events to step")
+        time, _, event = heapq.heappop(self._heap)
+        if time < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("time ran backwards")
+        self._now = time
+        event._run_callbacks()
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        that simulated time) or an :class:`Event` (run until it fires, and
+        return its value — raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event loop drained before target event fired "
+                        "(deadlock: a process is waiting on an event nobody "
+                        "will trigger)"
+                    )
+                self.step()
+            if target._ok:
+                return target._value
+            raise target._value
+        limit = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= limit:
+            self.step()
+        if until is not None and limit > self._now:
+            self._now = limit
+        return None

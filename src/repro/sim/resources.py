@@ -1,0 +1,204 @@
+"""Shared-resource primitives for the DES kernel.
+
+* :class:`Resource` — counted capacity (CPU core slots, network channels).
+* :class:`Store` — unordered-capacity FIFO buffer of items (message queues,
+  mailboxes).
+* :class:`PriorityStore` — like :class:`Store` but items pop in priority
+  order; used by schedulers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["PriorityStore", "Resource", "Store"]
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots.
+
+    ``request()`` returns an event that succeeds when a slot is granted;
+    ``release(req)`` returns the slot.  Grants are strictly FIFO.
+
+    Typical pattern inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[Event] = []
+        self._granted: set[int] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires when granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._granted.add(id(event))
+            event.succeed()
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Return the slot held by ``request``.
+
+        Cancels the request instead if it has not been granted yet.
+        """
+        if id(request) in self._granted:
+            self._granted.discard(id(request))
+            self._in_use -= 1
+            while self._queue and self._in_use < self.capacity:
+                nxt = self._queue.pop(0)
+                self._in_use += 1
+                self._granted.add(id(nxt))
+                nxt.succeed()
+        else:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise SimulationError("release() of a request never made") from None
+
+
+class Store:
+    """FIFO buffer of arbitrary items with optional capacity.
+
+    ``put(item)`` returns an event that fires once the item is accepted
+    (immediately unless the store is full); ``get()`` returns an event that
+    fires with the oldest item once one is available.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Read-only view of buffered items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; event fires when the store accepts it."""
+        event = Event(self.env)
+        if len(self._items) < self.capacity:
+            self._accept(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Take the oldest item; event fires with the item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._pop())
+            self._drain_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel_get(self, get_event: Event) -> None:
+        """Withdraw a pending ``get()`` (e.g. after a poll timeout won)."""
+        try:
+            self._getters.remove(get_event)
+        except ValueError:
+            pass  # already satisfied or never queued — both fine
+
+    # -- internals ------------------------------------------------------------
+    def _accept(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._push(item)
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            event, item = self._putters.pop(0)
+            self._accept(item)
+            event.succeed()
+
+    def _push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def _pop(self) -> Any:
+        return self._items.pop(0)
+
+
+class PriorityStore(Store):
+    """A :class:`Store` whose ``get()`` pops the smallest item.
+
+    Items must be orderable; use ``(priority, seq, payload)`` tuples to
+    avoid comparing payloads.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> list[Any]:
+        return sorted(self._heap)
+
+    def _push(self, item: Any) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _pop(self) -> Any:
+        return heapq.heappop(self._heap)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        if len(self._heap) < self.capacity or self._getters:
+            self._accept(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._heap:
+            event.succeed(self._pop())
+            self._drain_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self._heap) < self.capacity:
+            event, item = self._putters.pop(0)
+            self._accept(item)
+            event.succeed()

@@ -1,0 +1,96 @@
+"""A real map / shuffle / reduce engine on local threads.
+
+Generalizes the paper's map-only pleasingly parallel framework to full
+MapReduce: map tasks emit ``(key, value)`` pairs, the shuffle groups by
+key, and reduce tasks fold each key's values.  Map and reduce fan out
+over a thread pool; an optional combiner pre-aggregates map output
+(Hadoop-style) to shrink the shuffle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Hashable, Iterable
+
+__all__ = ["MapReduceJob"]
+
+MapFn = Callable[[Any], Iterable[tuple[Hashable, Any]]]
+ReduceFn = Callable[[Hashable, list[Any]], Any]
+CombineFn = Callable[[Hashable, list[Any]], Any]
+
+
+class MapReduceJob:
+    """One configured MapReduce computation.
+
+    ``map_fn(item) -> iterable of (key, value)``;
+    ``reduce_fn(key, values) -> result``;
+    ``combiner(key, values) -> value`` optionally pre-aggregates each map
+    task's output before the shuffle.
+    """
+
+    def __init__(
+        self,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        combiner: CombineFn | None = None,
+    ):
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.combiner = combiner
+
+    def run(
+        self,
+        items: list[Any],
+        n_workers: int = 4,
+        n_map_partitions: int | None = None,
+    ) -> dict[Hashable, Any]:
+        """Execute over ``items`` and return {key: reduced value}."""
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if not items:
+            return {}
+        if n_map_partitions is None:
+            n_map_partitions = min(len(items), n_workers * 4)
+        if n_map_partitions < 1:
+            raise ValueError("n_map_partitions must be >= 1")
+        partitions = _split(items, n_map_partitions)
+
+        def map_partition(chunk: list[Any]) -> dict[Hashable, list[Any]]:
+            grouped: dict[Hashable, list[Any]] = {}
+            for item in chunk:
+                for key, value in self.map_fn(item):
+                    grouped.setdefault(key, []).append(value)
+            if self.combiner is not None:
+                grouped = {
+                    key: [self.combiner(key, values)]
+                    for key, values in grouped.items()
+                }
+            return grouped
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            mapped = list(pool.map(map_partition, partitions))
+
+            # Shuffle: merge the per-partition groups.
+            shuffled: dict[Hashable, list[Any]] = {}
+            for grouped in mapped:
+                for key, values in grouped.items():
+                    shuffled.setdefault(key, []).extend(values)
+
+            keys = list(shuffled)
+            reduced = list(
+                pool.map(lambda k: self.reduce_fn(k, shuffled[k]), keys)
+            )
+        return dict(zip(keys, reduced))
+
+
+def _split(items: list[Any], n: int) -> list[list[Any]]:
+    """Near-equal contiguous chunks, dropping empties."""
+    base, extra = divmod(len(items), n)
+    chunks = []
+    start = 0
+    for i in range(n):
+        count = base + (1 if i < extra else 0)
+        if count:
+            chunks.append(items[start : start + count])
+        start += count
+    return chunks

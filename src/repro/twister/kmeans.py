@@ -1,0 +1,113 @@
+"""K-means clustering as iterative MapReduce — the canonical Twister app.
+
+Map (over a cached partition of points, with the broadcast centroids):
+assign each point to its nearest centroid and emit, per centroid, the
+partial (sum, count).  Reduce: total the partials.  Merge: divide to get
+the new centroids.  Converge when no centroid moves more than ``tol``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.twister.iterative import IterationResult, IterativeMapReduce
+
+__all__ = ["kmeans_mapreduce"]
+
+
+def _assign_partition(points: np.ndarray, centroids: np.ndarray):
+    """Map: per-centroid partial sums for one cached partition."""
+    # (n, k) squared distances without materializing differences.
+    sq = (
+        (points * points).sum(axis=1)[:, None]
+        - 2.0 * points @ centroids.T
+        + (centroids * centroids).sum(axis=1)[None, :]
+    )
+    nearest = sq.argmin(axis=1)
+    pairs = []
+    for centroid_index in np.unique(nearest):
+        members = points[nearest == centroid_index]
+        pairs.append(
+            (int(centroid_index), (members.sum(axis=0), members.shape[0]))
+        )
+    return pairs
+
+
+def _total(key, partials):
+    """Reduce: combine (sum, count) partials for one centroid."""
+    total = partials[0][0].copy()
+    for partial_sum, _ in partials[1:]:
+        total += partial_sum
+    count = sum(count for _, count in partials)
+    return total, count
+
+
+def _new_centroids(reduced: dict, previous: np.ndarray) -> np.ndarray:
+    """Merge: divide sums by counts; empty clusters keep their position."""
+    centroids = previous.copy()
+    for centroid_index, (total, count) in reduced.items():
+        if count > 0:
+            centroids[centroid_index] = total / count
+    return centroids
+
+
+def _kmeans_plus_plus(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii): each next centroid is
+    sampled proportionally to its squared distance from the chosen set,
+    which avoids the cluster-collapse of uniform random seeding."""
+    centroids = np.empty((n_clusters, points.shape[1]))
+    centroids[0] = points[rng.integers(points.shape[0])]
+    sq = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, n_clusters):
+        total = sq.sum()
+        if total <= 0:
+            centroids[i:] = centroids[0]
+            break
+        chosen = rng.choice(points.shape[0], p=sq / total)
+        centroids[i] = points[chosen]
+        sq = np.minimum(sq, ((points - centroids[i]) ** 2).sum(axis=1))
+    return centroids
+
+
+def kmeans_mapreduce(
+    points: np.ndarray,
+    n_clusters: int,
+    n_partitions: int = 4,
+    max_iterations: int = 50,
+    tol: float = 1e-6,
+    n_workers: int = 4,
+    seed: int = 0,
+) -> tuple[np.ndarray, IterationResult]:
+    """Cluster ``points`` (N x D); returns (centroids, iteration result).
+
+    Initial centroids are a random sample of the points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    if not 1 <= n_clusters <= points.shape[0]:
+        raise ValueError("n_clusters must be in 1..len(points)")
+    rng = np.random.default_rng(seed)
+    initial = _kmeans_plus_plus(points, n_clusters, rng)
+
+    partitions = np.array_split(points, n_partitions)
+    partitions = [p for p in partitions if p.shape[0] > 0]
+
+    def centroids_converged(old: np.ndarray, new: np.ndarray) -> bool:
+        return float(np.abs(new - old).max()) < tol
+
+    engine = IterativeMapReduce(
+        map_fn=_assign_partition,
+        reduce_fn=_total,
+        merge_fn=_new_centroids,
+    )
+    result = engine.run(
+        static_partitions=partitions,
+        initial_state=initial,
+        max_iterations=max_iterations,
+        converged=centroids_converged,
+        n_workers=n_workers,
+    )
+    return result.final_state, result

@@ -1,0 +1,47 @@
+"""Synthetic workload generators.
+
+The paper's data is either proprietary-scale (the 8.7 GB NR database, 26M
+PubChem points) or trivially replicable (replicated FASTA files); these
+generators produce the closest synthetic equivalents at any scale:
+
+* :mod:`repro.workloads.genome` — shotgun read sets for Cap3, both
+  replicated-homogeneous (the paper's scaling studies) and inhomogeneous
+  (its load-balancing discussion);
+* :mod:`repro.workloads.protein` — query bundles (100 queries/file,
+  7–8 KB) and an NR-like protein database for BLAST;
+* :mod:`repro.workloads.pubchem` — 166-dimensional descriptor vectors
+  with a sample / out-of-sample split for GTM Interpolation.
+
+Every generator can emit *real files* (for the local backend) and always
+emits :class:`~repro.core.task.TaskSpec` lists (for the simulator).
+"""
+
+from repro.workloads.genome import (
+    cap3_task_specs,
+    generate_genome,
+    generate_read_records,
+    write_cap3_workload,
+)
+from repro.workloads.protein import (
+    blast_task_specs,
+    generate_protein_database,
+    write_blast_workload,
+)
+from repro.workloads.pubchem import (
+    generate_pubchem_points,
+    gtm_task_specs,
+    write_gtm_workload,
+)
+
+__all__ = [
+    "blast_task_specs",
+    "cap3_task_specs",
+    "generate_genome",
+    "generate_protein_database",
+    "generate_pubchem_points",
+    "generate_read_records",
+    "gtm_task_specs",
+    "write_blast_workload",
+    "write_cap3_workload",
+    "write_gtm_workload",
+]

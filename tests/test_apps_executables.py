@@ -1,0 +1,178 @@
+"""Tests for the file-in/file-out executable wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import BlastDatabase
+from repro.apps.executables import (
+    BlastExecutable,
+    Cap3Executable,
+    GtmInterpolationExecutable,
+)
+from repro.apps.fasta import FastaRecord, read_fasta, write_fasta
+from repro.apps.gtm import train_gtm
+
+
+def random_genome(length, seed=0):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[i] for i in rng.integers(0, 4, size=length))
+
+
+def random_protein(length, seed=0):
+    from repro.apps.blast import AMINO_ACIDS
+
+    rng = np.random.default_rng(seed)
+    return "".join(AMINO_ACIDS[i] for i in rng.integers(0, 20, size=length))
+
+
+class TestCap3Executable:
+    def test_produces_contig_output(self, tmp_path):
+        genome = random_genome(400, seed=1)
+        reads = [
+            FastaRecord(id=f"r{i}", seq=genome[s : s + 100])
+            for i, s in enumerate(range(0, 301, 50))
+        ]
+        input_path = tmp_path / "task.fa"
+        output_path = tmp_path / "task.out.fa"
+        write_fasta(reads, input_path)
+        Cap3Executable().run(input_path, output_path)
+        out = read_fasta(output_path)
+        assert out[0].id == "Contig1"
+        assert out[0].seq == genome
+        assert "reads=7" in out[0].description
+
+    def test_idempotent_reexecution(self, tmp_path):
+        """Re-running a task yields byte-identical output — the property
+        the Classic Cloud fault-tolerance story depends on."""
+        genome = random_genome(300, seed=2)
+        reads = [
+            FastaRecord(id=f"r{i}", seq=genome[s : s + 80])
+            for i, s in enumerate(range(0, 221, 40))
+        ]
+        input_path = tmp_path / "in.fa"
+        write_fasta(reads, input_path)
+        out1, out2 = tmp_path / "o1.fa", tmp_path / "o2.fa"
+        exe = Cap3Executable()
+        exe.run(input_path, out1)
+        exe.run(input_path, out2)
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_fastq_input_quality_trimmed_then_assembled(self, tmp_path):
+        from repro.apps.fastq import FastqRecord, write_fastq
+
+        genome = random_genome(400, seed=21)
+        records = []
+        for i, start in enumerate(range(0, 301, 50)):
+            seq = genome[start : start + 100] + "GGGGGG"  # bad tail
+            quals = (38,) * 100 + (3,) * 6
+            records.append(
+                FastqRecord(id=f"r{i}", seq=seq, qualities=quals)
+            )
+        input_path = tmp_path / "reads.fastq"
+        write_fastq(records, input_path)
+        output_path = tmp_path / "asm.fa"
+        Cap3Executable().run(input_path, output_path)
+        out = read_fasta(output_path)
+        assert out[0].id == "Contig1"
+        assert out[0].seq == genome  # tails trimmed away, not assembled in
+
+    def test_singletons_appear_in_output(self, tmp_path):
+        reads = [
+            FastaRecord(id="lone1", seq=random_genome(80, seed=10)),
+            FastaRecord(id="lone2", seq=random_genome(80, seed=11)),
+        ]
+        input_path = tmp_path / "in.fa"
+        write_fasta(reads, input_path)
+        output_path = tmp_path / "out.fa"
+        Cap3Executable().run(input_path, output_path)
+        ids = [r.id for r in read_fasta(output_path)]
+        assert set(ids) == {"lone1", "lone2"}
+
+
+class TestBlastExecutable:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return BlastDatabase(
+            [
+                FastaRecord(id=f"prot{i}", seq=random_protein(250, seed=i))
+                for i in range(10)
+            ]
+        )
+
+    def test_tabular_output(self, tmp_path, db):
+        query = FastaRecord(id="q1", seq=db.seqs[4][20:180])
+        input_path = tmp_path / "q.fa"
+        write_fasta([query], input_path)
+        output_path = tmp_path / "hits.tsv"
+        BlastExecutable(db).run(input_path, output_path)
+        lines = output_path.read_text().strip().split("\n")
+        fields = lines[0].split("\t")
+        assert fields[0] == "q1"
+        assert fields[1] == "prot4"
+        assert float(fields[2]) == pytest.approx(100.0)
+        assert int(fields[3]) >= 150
+        assert float(fields[4]) < 1e-6  # e-value column
+
+    def test_no_hits_writes_empty_file(self, tmp_path, db):
+        query = FastaRecord(id="q", seq=random_protein(150, seed=999))
+        input_path = tmp_path / "q.fa"
+        write_fasta([query], input_path)
+        output_path = tmp_path / "hits.tsv"
+        BlastExecutable(db).run(input_path, output_path)
+        content = output_path.read_text()
+        strong = [
+            line
+            for line in content.strip().split("\n")
+            if line and float(line.split("\t")[4]) < 1e-6
+        ]
+        assert strong == []
+
+    def test_threaded_executable_matches_serial(self, tmp_path, db):
+        queries = [
+            FastaRecord(id=f"q{i}", seq=db.seqs[i][0:150]) for i in range(5)
+        ]
+        input_path = tmp_path / "batch.fa"
+        write_fasta(queries, input_path)
+        serial_out = tmp_path / "serial.tsv"
+        threaded_out = tmp_path / "threaded.tsv"
+        BlastExecutable(db, num_threads=1).run(input_path, serial_out)
+        BlastExecutable(db, num_threads=4).run(input_path, threaded_out)
+        assert serial_out.read_text() == threaded_out.read_text()
+
+
+class TestGtmExecutable:
+    def test_interpolates_npz_to_npy(self, tmp_path):
+        rng = np.random.default_rng(0)
+        train = rng.normal(size=(150, 8))
+        model = train_gtm(train, latent_per_dim=5, rbf_per_dim=3, iterations=5)
+        points = rng.normal(size=(200, 8))
+        input_path = tmp_path / "split.npz"
+        np.savez_compressed(input_path, points=points)
+        output_path = tmp_path / "latent.npy"
+        GtmInterpolationExecutable(model).run(input_path, output_path)
+        latent = np.load(output_path)
+        assert latent.shape == (200, 2)
+
+    def test_output_much_smaller_than_input(self, tmp_path):
+        """The paper: GTM output is orders of magnitude smaller."""
+        rng = np.random.default_rng(1)
+        train = rng.normal(size=(100, 166))
+        model = train_gtm(train, latent_per_dim=4, rbf_per_dim=2, iterations=3)
+        points = rng.normal(size=(5000, 166))
+        input_path = tmp_path / "split.npz"
+        np.savez(input_path, points=points)  # uncompressed: fair comparison
+        output_path = tmp_path / "latent.npy"
+        GtmInterpolationExecutable(model).run(input_path, output_path)
+        assert output_path.stat().st_size < input_path.stat().st_size / 20
+
+    def test_idempotent(self, tmp_path):
+        rng = np.random.default_rng(2)
+        train = rng.normal(size=(80, 6))
+        model = train_gtm(train, latent_per_dim=4, rbf_per_dim=2, iterations=3)
+        input_path = tmp_path / "in.npz"
+        np.savez_compressed(input_path, points=rng.normal(size=(50, 6)))
+        out1, out2 = tmp_path / "a.npy", tmp_path / "b.npy"
+        exe = GtmInterpolationExecutable(model)
+        exe.run(input_path, out1)
+        exe.run(input_path, out2)
+        assert out1.read_bytes() == out2.read_bytes()

@@ -1,0 +1,130 @@
+"""Tests for FASTQ parsing and quality-aware trimming."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.apps.cap3 import assemble
+from repro.apps.fastq import (
+    FastqRecord,
+    parse_fastq,
+    quality_trim,
+    read_fastq,
+    write_fastq,
+)
+
+
+def make_record(seq="ACGT" * 20, quality=30, id="r1"):
+    return FastqRecord(id=id, seq=seq, qualities=tuple([quality] * len(seq)))
+
+
+class TestFastqRecord:
+    def test_basic_properties(self):
+        record = make_record()
+        assert len(record) == 80
+        assert record.mean_quality() == 30.0
+        assert record.quality_string == chr(30 + 33) * 80
+
+    def test_to_fasta_drops_qualities(self):
+        fasta = make_record().to_fasta()
+        assert fasta.seq == "ACGT" * 20
+        assert fasta.id == "r1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FastqRecord(id="", seq="A", qualities=(30,))
+        with pytest.raises(ValueError):
+            FastqRecord(id="x", seq="AC", qualities=(30,))
+        with pytest.raises(ValueError):
+            FastqRecord(id="x", seq="A", qualities=(99,))
+
+    def test_empty_read_mean_quality(self):
+        assert FastqRecord(id="x", seq="", qualities=()).mean_quality() == 0.0
+
+
+class TestFastqIO:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            make_record(id="a"),
+            FastqRecord(
+                id="b", seq="TTTT", qualities=(2, 20, 40, 93),
+                description="sample read",
+            ),
+        ]
+        path = tmp_path / "reads.fq"
+        write_fastq(records, path)
+        assert read_fastq(path) == records
+
+    def test_parse_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="'@' header"):
+            list(parse_fastq(io.StringIO(">notfastq\nACGT\n+\nIIII\n")))
+
+    def test_parse_rejects_bad_separator(self):
+        with pytest.raises(ValueError, match="separator"):
+            list(parse_fastq(io.StringIO("@r\nACGT\nACGT\nIIII\n")))
+
+    def test_parse_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="quality length"):
+            list(parse_fastq(io.StringIO("@r\nACGT\n+\nII\n")))
+
+    def test_parse_empty_stream(self):
+        assert list(parse_fastq(io.StringIO(""))) == []
+
+    def test_parse_skips_blank_lines_between_records(self):
+        text = "@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n"
+        records = list(parse_fastq(io.StringIO(text)))
+        assert [r.id for r in records] == ["a", "b"]
+
+
+class TestQualityTrim:
+    def test_high_quality_read_untouched(self):
+        record = make_record(quality=35)
+        trimmed = quality_trim(record, threshold=20)
+        assert trimmed.seq == record.seq
+
+    def test_low_quality_ends_removed(self):
+        core = "ACGT" * 15
+        seq = "TTTTT" + core + "GGGGG"
+        quals = (5,) * 5 + (38,) * len(core) + (4,) * 5
+        record = FastqRecord(id="x", seq=seq, qualities=quals)
+        trimmed = quality_trim(record, threshold=20, window=5)
+        assert trimmed.seq == core
+
+    def test_entirely_bad_read_dropped(self):
+        record = make_record(quality=5)
+        assert quality_trim(record, threshold=20) is None
+
+    def test_short_survivor_dropped(self):
+        seq = "A" * 50
+        quals = (5,) * 20 + (35,) * 10 + (5,) * 20
+        record = FastqRecord(id="x", seq=seq, qualities=quals)
+        assert quality_trim(record, threshold=20, min_length=40) is None
+
+    def test_validation(self):
+        record = make_record()
+        with pytest.raises(ValueError):
+            quality_trim(record, window=0)
+        with pytest.raises(ValueError):
+            quality_trim(record, threshold=200)
+
+    def test_trimmed_reads_feed_the_assembler(self):
+        """End-to-end: FASTQ -> quality trim -> assembly."""
+        rng = np.random.default_rng(3)
+        genome = "".join("ACGT"[i] for i in rng.integers(0, 4, size=400))
+        fastq_records = []
+        for n, start in enumerate(range(0, 301, 50)):
+            fragment = genome[start : start + 100]
+            # Good core with a bad 3' tail the trimmer must remove.
+            seq = fragment + "AAAAAAAA"
+            quals = (38,) * 100 + (3,) * 8
+            fastq_records.append(
+                FastqRecord(id=f"read{n}", seq=seq, qualities=quals)
+            )
+        trimmed = [
+            quality_trim(r, threshold=20) for r in fastq_records
+        ]
+        assert all(t is not None for t in trimmed)
+        result = assemble(trimmed)
+        assert len(result.contigs) == 1
+        assert result.contigs[0].seq == genome

@@ -1,0 +1,177 @@
+"""Tests for the calibrated analytic performance models."""
+
+import pytest
+
+from repro.apps.perfmodels import (
+    APP_PERF_MODELS,
+    TaskPerfModel,
+    task_runtime_seconds,
+)
+from repro.cloud.instance_types import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+
+
+@pytest.fixture
+def machines():
+    return {name: t.machine for name, t in EC2_INSTANCE_TYPES.items()}
+
+
+class TestCap3Model:
+    """Cap3 is compute-bound: runtime tracks clock rate."""
+
+    def test_faster_clock_runs_faster(self, machines):
+        model = APP_PERF_MODELS["cap3"]
+        times = {
+            name: task_runtime_seconds(model, 200, machines[name])
+            for name in ("L", "XL", "HCXL", "HM4XL")
+        }
+        assert times["HM4XL"] < times["HCXL"] < times["L"]
+        assert times["L"] == pytest.approx(times["XL"], rel=0.05)
+
+    def test_windows_speedup_12_5_percent(self, machines):
+        model = APP_PERF_MODELS["cap3"]
+        linux = machines["HCXL"]
+        windows = EC2_INSTANCE_TYPES["HCXL"].with_os("windows").machine
+        t_linux = task_runtime_seconds(model, 200, linux)
+        t_windows = task_runtime_seconds(model, 200, windows)
+        assert t_linux / t_windows == pytest.approx(1.125, rel=0.02)
+
+    def test_memory_not_a_bottleneck(self, machines):
+        """Contention from 8 concurrent workers barely moves Cap3."""
+        model = APP_PERF_MODELS["cap3"]
+        alone = task_runtime_seconds(model, 200, machines["HCXL"], 1)
+        crowded = task_runtime_seconds(model, 200, machines["HCXL"], 8)
+        assert crowded / alone < 1.10
+
+
+class TestBlastModel:
+    """BLAST wants the whole database resident in memory."""
+
+    def test_memory_pressure_penalizes_small_instances(self):
+        model = APP_PERF_MODELS["blast"]
+        small = AZURE_INSTANCE_TYPES["Small"].machine
+        xl = AZURE_INSTANCE_TYPES["ExtraLarge"].machine
+        t_small = task_runtime_seconds(model, 100, small, concurrent_workers=1)
+        # XL runs 8 workers; compare per-core time like Figure 9 does.
+        t_xl = task_runtime_seconds(model, 100, xl, concurrent_workers=8)
+        assert t_small > t_xl  # 1.7 GB cannot hold the 8.7 GB database
+
+    def test_azure_ordering_matches_figure9(self):
+        """Time per task decreases with Azure instance size (Fig. 9)."""
+        model = APP_PERF_MODELS["blast"]
+        times = []
+        for name, workers in (
+            ("Small", 1),
+            ("Medium", 2),
+            ("Large", 4),
+            ("ExtraLarge", 8),
+        ):
+            machine = AZURE_INSTANCE_TYPES[name].machine
+            times.append(
+                task_runtime_seconds(model, 100, machine, concurrent_workers=workers)
+            )
+        assert times == sorted(times, reverse=True)
+
+    def test_threads_help_but_less_than_processes(self):
+        """Figure 9: N threads in one worker is slightly slower than N
+        single-thread workers on independent tasks."""
+        model = APP_PERF_MODELS["blast"]
+        machine = AZURE_INSTANCE_TYPES["Large"].machine
+        # One worker, 4 threads on one task:
+        threaded = task_runtime_seconds(
+            model, 100, machine, concurrent_workers=1, threads=4
+        )
+        serial = task_runtime_seconds(model, 100, machine, concurrent_workers=1)
+        speedup = serial / threaded
+        assert 2.0 < speedup < 4.0  # helps, but sublinear
+
+    def test_hcxl_efficiency_drop_from_crowding(self, machines):
+        """Fig. 10's note: 7 GB shared by 8 workers depresses efficiency."""
+        model = APP_PERF_MODELS["blast"]
+        alone = task_runtime_seconds(model, 100, machines["HCXL"], 1)
+        crowded = task_runtime_seconds(model, 100, machines["HCXL"], 8)
+        assert 1.1 < crowded / alone < 1.6
+
+
+class TestGtmModel:
+    """GTM Interpolation is memory-bandwidth bound."""
+
+    def test_contention_hurts_more_cores_sharing(self, machines):
+        model = APP_PERF_MODELS["gtm"]
+        # Per-task time with every core busy:
+        t_l = task_runtime_seconds(model, 100, machines["L"], 2)
+        t_hcxl = task_runtime_seconds(model, 100, machines["HCXL"], 8)
+        # L has 2 cores on 6.4 GB/s; HCXL packs 8 cores on 8 GB/s:
+        # HCXL's bandwidth share per worker is much smaller.
+        assert t_hcxl > t_l
+
+    def test_hm4xl_fastest_overall(self, machines):
+        model = APP_PERF_MODELS["gtm"]
+        times = {
+            name: task_runtime_seconds(
+                model, 100, machines[name], machines[name].cores
+            )
+            for name in ("L", "XL", "HCXL", "HM4XL")
+        }
+        assert min(times, key=times.get) == "HM4XL"
+
+    def test_implied_parallel_efficiency_ranking(self, machines):
+        """Efficiency = T(1 worker)/T(all workers); Large beats HCXL,
+        matching the paper's Section 6.2 EC2 ranking."""
+        model = APP_PERF_MODELS["gtm"]
+
+        def efficiency(name):
+            m = machines[name]
+            return task_runtime_seconds(model, 100, m, 1) / task_runtime_seconds(
+                model, 100, m, m.cores
+            )
+
+        assert efficiency("L") > efficiency("HCXL")
+        azure_small = AZURE_INSTANCE_TYPES["Small"].machine
+        az_eff = task_runtime_seconds(
+            model, 100, azure_small, 1
+        ) / task_runtime_seconds(model, 100, azure_small, 1)
+        assert az_eff == pytest.approx(1.0)  # single core: no contention
+
+
+class TestModelMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskPerfModel(
+                app_name="x", unit="u", cpu_ghz_seconds_per_unit=-1,
+                mem_bytes_per_unit=0,
+            )
+        with pytest.raises(ValueError):
+            TaskPerfModel(
+                app_name="x", unit="u", cpu_ghz_seconds_per_unit=1,
+                mem_bytes_per_unit=0, thread_efficiency=0.0,
+            )
+
+    def test_runtime_argument_validation(self, machines):
+        model = APP_PERF_MODELS["cap3"]
+        with pytest.raises(ValueError):
+            task_runtime_seconds(model, -1, machines["L"])
+        with pytest.raises(ValueError):
+            task_runtime_seconds(model, 1, machines["L"], concurrent_workers=0)
+        with pytest.raises(ValueError):
+            model.thread_speedup(0)
+
+    def test_thread_speedup_without_support_is_one(self):
+        model = APP_PERF_MODELS["cap3"]  # does not support threads
+        assert model.thread_speedup(8) == 1.0
+
+    def test_clock_override_scales_cpu_term(self, machines):
+        model = APP_PERF_MODELS["cap3"]
+        base = task_runtime_seconds(model, 200, machines["HCXL"])
+        slowed = task_runtime_seconds(
+            model, 200, machines["HCXL"], clock_ghz=1.25
+        )
+        assert slowed > 1.8 * base  # CPU-bound: ~2x slower at half clock
+
+    def test_zero_work_is_zero_time(self, machines):
+        model = APP_PERF_MODELS["gtm"]
+        assert task_runtime_seconds(model, 0, machines["L"]) == 0.0
+
+    def test_paging_penalty_is_one_when_fitting(self, machines):
+        model = APP_PERF_MODELS["blast"]
+        assert model.paging_penalty(machines["HM4XL"], 8) == 1.0
+        assert model.paging_penalty(machines["HCXL"], 8) > 1.0

@@ -1,0 +1,148 @@
+"""Tests for the SWG pairwise-distance application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.swg import (
+    SWG_PERF_MODEL,
+    SwgParams,
+    pairwise_distance,
+    swg_align,
+    swg_block_task_specs,
+    swg_distance_block,
+)
+
+
+def random_dna(length, seed):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[i] for i in rng.integers(0, 4, size=length))
+
+
+class TestAlignment:
+    def test_identical_sequences_align_perfectly(self):
+        seq = random_dna(100, 1)
+        score, matches, length = swg_align(seq, seq)
+        assert matches == length == 100
+        assert score == pytest.approx(100 * 5.0)
+
+    def test_empty_sequences(self):
+        assert swg_align("", "ACGT") == (0.0, 0, 0)
+        assert swg_align("ACGT", "") == (0.0, 0, 0)
+
+    def test_local_alignment_finds_embedded_motif(self):
+        motif = random_dna(40, 2)
+        a = random_dna(30, 3) + motif + random_dna(30, 4)
+        b = random_dna(25, 5) + motif + random_dna(25, 6)
+        score, matches, length = swg_align(a, b)
+        assert matches >= 40
+        assert score >= 40 * 5.0
+
+    def test_substitution_reduces_identity(self):
+        seq = random_dna(100, 7)
+        mutated = "T" + seq[1:50] + "A" + seq[51:]
+        # Mutate interior positions to keep a single local alignment.
+        mutated = seq[:50] + ("A" if seq[50] != "A" else "C") + seq[51:]
+        _, matches, length = swg_align(seq, mutated)
+        assert length == 100
+        assert matches == 99
+
+    def test_affine_gap_prefers_one_long_gap(self):
+        """With affine costs, one 3-gap beats three 1-gaps."""
+        seq = random_dna(60, 8)
+        gapped = seq[:30] + seq[33:]  # one 3-base deletion
+        score, matches, length = swg_align(seq, gapped)
+        # The alignment bridges the gap: matches = 57 of length 60.
+        assert matches == 57
+        assert length == 60
+        expected = 57 * 5.0 - (10.0 + 3 * 0.5 - 0.5)
+        assert score == pytest.approx(expected)
+
+    def test_symmetry(self):
+        a, b = random_dna(80, 9), random_dna(80, 10)
+        assert swg_align(a, b)[0] == pytest.approx(swg_align(b, a)[0])
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            SwgParams(match=0)
+        with pytest.raises(ValueError):
+            SwgParams(gap_open=-1)
+
+
+class TestDistance:
+    def test_identical_distance_zero(self):
+        seq = random_dna(100, 11)
+        assert pairwise_distance(seq, seq) == 0.0
+
+    def test_unrelated_distance_high(self):
+        a, b = random_dna(100, 12), random_dna(100, 13)
+        assert pairwise_distance(a, b) > 0.15
+
+    def test_bounded(self):
+        for seed in range(5):
+            a = random_dna(60, seed)
+            b = random_dna(60, seed + 50)
+            assert 0.0 <= pairwise_distance(a, b) <= 1.0
+
+    def test_distance_tracks_divergence(self):
+        base = random_dna(150, 14)
+        rng = np.random.default_rng(15)
+
+        def mutate(rate):
+            out = list(base)
+            for i in range(len(out)):
+                if rng.random() < rate:
+                    out[i] = "ACGT"[rng.integers(0, 4)]
+            return "".join(out)
+
+        near = pairwise_distance(base, mutate(0.05))
+        far = pairwise_distance(base, mutate(0.30))
+        assert near < far
+
+
+class TestBlocks:
+    def test_symmetric_block_properties(self):
+        group = [random_dna(60, s) for s in range(6)]
+        block = swg_distance_block(group, group, symmetric=True)
+        np.testing.assert_allclose(block, block.T)
+        np.testing.assert_allclose(np.diag(block), 0.0)
+
+    def test_off_diagonal_block_matches_direct(self):
+        a = [random_dna(50, s) for s in range(3)]
+        b = [random_dna(50, s + 10) for s in range(4)]
+        block = swg_distance_block(a, b)
+        assert block.shape == (3, 4)
+        assert block[1, 2] == pytest.approx(pairwise_distance(a[1], b[2]))
+
+    def test_task_specs_cover_all_pairs_once(self):
+        n, block_size = 100, 32
+        specs = swg_block_task_specs(n, block_size)
+        total_pairs = sum(s.work_units for s in specs)
+        assert total_pairs == n * (n - 1) / 2
+        # Upper triangle of a 4x4 block grid: 10 blocks.
+        assert len(specs) == 10
+
+    def test_task_specs_validation(self):
+        with pytest.raises(ValueError):
+            swg_block_task_specs(1)
+        with pytest.raises(ValueError):
+            swg_block_task_specs(10, block_size=0)
+
+
+class TestSwgOnFrameworks:
+    def test_swg_blocks_run_on_the_simulated_cloud(self):
+        """The extensibility point: a user application only needs a
+        TaskPerfModel to run on every backend."""
+        from repro.cloud.failures import FaultPlan
+        from repro.core.application import Application
+        from repro.core.backends import make_backend
+
+        app = Application(name="swg", perf_model=SWG_PERF_MODEL)
+        tasks = swg_block_task_specs(512, block_size=64)
+        backend = make_backend(
+            "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=4
+        )
+        result = backend.run(app, tasks)
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+        t1 = backend.estimate_sequential_time(app, tasks)
+        efficiency = t1 / (backend.total_cores * result.makespan_seconds)
+        assert efficiency > 0.7  # CPU-bound blocks parallelize well

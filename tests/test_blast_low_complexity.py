@@ -1,0 +1,90 @@
+"""Tests for SEG-style low-complexity query filtering."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import (
+    AMINO_ACIDS,
+    BlastDatabase,
+    BlastParams,
+    LowComplexityFilter,
+    blast_search,
+    mask_low_complexity,
+    _encode,
+)
+from repro.apps.fasta import FastaRecord
+
+
+def random_protein(length, seed):
+    rng = np.random.default_rng(seed)
+    return "".join(AMINO_ACIDS[i] for i in rng.integers(0, 20, size=length))
+
+
+class TestMask:
+    def test_homopolymer_fully_masked(self):
+        enc = _encode("A" * 40)
+        mask = mask_low_complexity(enc, LowComplexityFilter())
+        assert mask.all()
+
+    def test_random_sequence_unmasked(self):
+        enc = _encode(random_protein(60, seed=1))
+        mask = mask_low_complexity(enc, LowComplexityFilter())
+        assert not mask.any()
+
+    def test_mixed_sequence_masks_only_the_run(self):
+        complex_part = random_protein(40, seed=2)
+        seq = complex_part + "QQQQQQQQQQQQQQQQ" + complex_part
+        mask = mask_low_complexity(_encode(seq), LowComplexityFilter())
+        # The poly-Q core is masked...
+        assert mask[45:50].all()
+        # ...but the fully complex flanks away from the boundary are not.
+        assert not mask[:25].any()
+        assert not mask[-25:].any()
+
+    def test_short_sequence_never_masked(self):
+        enc = _encode("AAA")
+        mask = mask_low_complexity(enc, LowComplexityFilter(window=12))
+        assert not mask.any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LowComplexityFilter(window=2)
+        with pytest.raises(ValueError):
+            LowComplexityFilter(entropy_threshold_bits=0)
+
+
+class TestFilteredSearch:
+    def test_low_complexity_seeding_suppressed(self):
+        """A poly-A query against a database with poly-A runs: filtering
+        removes the spurious hits entirely."""
+        db = BlastDatabase(
+            [
+                FastaRecord(
+                    id=f"junk{i}",
+                    seq=random_protein(80, seed=i) + "A" * 50
+                    + random_protein(80, seed=100 + i),
+                )
+                for i in range(5)
+            ]
+        )
+        query = FastaRecord(id="polyA", seq="A" * 60)
+        unfiltered = blast_search([query], db, BlastParams())["polyA"]
+        filtered = blast_search(
+            [query],
+            db,
+            BlastParams(low_complexity_filter=LowComplexityFilter()),
+        )["polyA"]
+        assert len(unfiltered) == 5  # every sequence "matches" the run
+        assert filtered == []  # the filter kills the artefact
+
+    def test_real_homology_survives_filtering(self):
+        subject = random_protein(250, seed=9)
+        db = BlastDatabase([FastaRecord(id="s", seq=subject)])
+        query = FastaRecord(id="q", seq=subject[40:200])
+        filtered = blast_search(
+            [query],
+            db,
+            BlastParams(low_complexity_filter=LowComplexityFilter()),
+        )["q"]
+        assert filtered
+        assert filtered[0].identity == pytest.approx(1.0)

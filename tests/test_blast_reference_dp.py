@@ -1,0 +1,93 @@
+"""Cross-check the banded Smith-Waterman against a reference DP.
+
+The banded implementation trades completeness for speed; within its band
+it must agree exactly with a textbook full-matrix local alignment under
+the same scoring (BLOSUM62, linear gap penalty).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import (
+    AMINO_ACIDS,
+    BlastParams,
+    _banded_sw,
+    _encode,
+)
+
+
+def reference_smith_waterman(query, subject, gap_penalty):
+    """Full-matrix local alignment score with linear gaps."""
+    from repro.apps.blast import _BLOSUM62
+
+    m, n = len(query), len(subject)
+    score = np.zeros((m + 1, n + 1))
+    best = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            sub = score[i - 1, j - 1] + _BLOSUM62[query[i - 1], subject[j - 1]]
+            gap_q = score[i, j - 1] - gap_penalty
+            gap_s = score[i - 1, j] - gap_penalty
+            score[i, j] = max(0.0, sub, gap_q, gap_s)
+            best = max(best, score[i, j])
+    return best
+
+
+def random_protein(length, seed):
+    rng = np.random.default_rng(seed)
+    return "".join(AMINO_ACIDS[i] for i in rng.integers(0, 20, size=length))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_banded_matches_reference_on_diagonal_alignments(seed):
+    """Ungapped-homolog pairs: the optimum lies on the main diagonal,
+    well inside any band, so banded == full DP."""
+    rng = np.random.default_rng(seed)
+    base = random_protein(80, seed)
+    mutated = list(base)
+    for pos in rng.integers(0, 80, size=8):
+        mutated[pos] = AMINO_ACIDS[rng.integers(0, 20)]
+    query = _encode(base)
+    subject = _encode("".join(mutated))
+    params = BlastParams(band_width=16)
+    banded_score = _banded_sw(query, subject, 0, params)[0]
+    full = reference_smith_waterman(query, subject, params.gap_penalty)
+    assert banded_score == pytest.approx(full)
+
+
+@pytest.mark.parametrize("gap_len", [1, 2, 3])
+def test_banded_matches_reference_with_small_gaps(gap_len):
+    """An indel shifts the alignment off-diagonal by gap_len; with
+    band_width >> gap_len the banded DP must still find the optimum."""
+    base = random_protein(70, seed=99)
+    # Insert a gap into the subject copy.
+    subject_seq = base[:30] + random_protein(gap_len, seed=7) + base[30:]
+    query = _encode(base)
+    subject = _encode(subject_seq)
+    params = BlastParams(band_width=16)
+    banded_score = _banded_sw(query, subject, 0, params)[0]
+    full = reference_smith_waterman(query, subject, params.gap_penalty)
+    assert banded_score == pytest.approx(full)
+
+
+def test_banded_never_exceeds_reference():
+    """The band restricts the search space: banded <= full, always."""
+    for seed in range(8):
+        query = _encode(random_protein(60, seed))
+        subject = _encode(random_protein(60, seed + 100))
+        params = BlastParams(band_width=8)
+        banded_score = _banded_sw(query, subject, 0, params)[0]
+        full = reference_smith_waterman(query, subject, params.gap_penalty)
+        assert banded_score <= full + 1e-9
+
+
+def test_identity_fraction_consistent_with_alignment():
+    base = random_protein(60, seed=4)
+    query = _encode(base)
+    params = BlastParams(band_width=16)
+    score, q0, q1, s0, s1, matches, length = _banded_sw(
+        query, query, 0, params
+    )
+    # Self-alignment: all matches, full length.
+    assert matches == length == 60
+    assert (q0, q1, s0, s1) == (0, 60, 0, 60)

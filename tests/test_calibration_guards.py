@@ -1,0 +1,120 @@
+"""Calibration guards: the per-task runtimes behind every figure shape.
+
+EXPERIMENTS.md's paper-vs-measured comparisons depend on the perf-model
+constants staying in their calibrated ranges.  A careless retune that
+silently inverted a paper finding would pass unit tests but break one of
+these guards.
+"""
+
+import pytest
+
+from repro.apps.perfmodels import APP_PERF_MODELS, task_runtime_seconds
+from repro.cloud.instance_types import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+
+HCXL = EC2_INSTANCE_TYPES["HCXL"].machine
+L = EC2_INSTANCE_TYPES["L"].machine
+XL = EC2_INSTANCE_TYPES["XL"].machine
+HM4XL = EC2_INSTANCE_TYPES["HM4XL"].machine
+AZ_SMALL = AZURE_INSTANCE_TYPES["Small"].machine
+AZ_LARGE = AZURE_INSTANCE_TYPES["Large"].machine
+
+
+class TestCap3Calibration:
+    """Figure 6's per-file per-core times: ~100-120 s for 458 reads."""
+
+    def test_458_read_task_on_hcxl_core(self):
+        model = APP_PERF_MODELS["cap3"]
+        t = task_runtime_seconds(model, 458, HCXL, concurrent_workers=8)
+        assert 90 < t < 140
+
+    def test_200_read_instance_study_scale(self):
+        """Figure 4: 200 files x 200 reads on 16 cores lands at
+        hundreds-of-seconds makespans (12.5 rounds/core)."""
+        model = APP_PERF_MODELS["cap3"]
+        per_task = task_runtime_seconds(model, 200, HCXL, concurrent_workers=8)
+        makespan = per_task * 200 / 16
+        assert 400 < makespan < 900
+
+    def test_windows_advantage_preserved(self):
+        model = APP_PERF_MODELS["cap3"]
+        assert model.os_speedup["windows"] == pytest.approx(1.125)
+
+
+class TestBlastCalibration:
+    """Figure 8: 64 query files on 16 HCXL cores around 2000-3000 s."""
+
+    def test_query_file_on_hcxl(self):
+        model = APP_PERF_MODELS["blast"]
+        per_task = task_runtime_seconds(model, 100, HCXL, concurrent_workers=8)
+        makespan = per_task * 64 / 16
+        assert 1500 < makespan < 3500
+
+    def test_database_pressure_ordering(self):
+        """The memory-residency crossovers behind Figures 8-10."""
+        model = APP_PERF_MODELS["blast"]
+        # XL (15 GB) fits the DB; HCXL (7 GB) pays for it.
+        assert model.paging_penalty(XL, 4) == 1.0
+        assert model.paging_penalty(HCXL, 8) > 1.2
+        # Azure Small (1.7 GB) pays dearly (Figure 9).
+        assert model.paging_penalty(AZ_SMALL, 1) > 3.0
+        assert model.paging_penalty(AZ_LARGE, 4) < 2.0
+
+    def test_hcxl_still_competitive_with_xl(self):
+        """Figure 8's 'no dramatic memory effect': HCXL within ~30% of
+        XL despite <1 GB/core."""
+        model = APP_PERF_MODELS["blast"]
+        t_hcxl = task_runtime_seconds(model, 100, HCXL, concurrent_workers=8)
+        t_xl = task_runtime_seconds(model, 100, XL, concurrent_workers=4)
+        assert t_hcxl / t_xl < 1.35
+
+
+class TestGtmCalibration:
+    """Figures 13-15: memory bandwidth decides GTM."""
+
+    def test_100k_point_task_times(self):
+        model = APP_PERF_MODELS["gtm"]
+        t_hcxl = task_runtime_seconds(model, 100, HCXL, concurrent_workers=8)
+        t_l = task_runtime_seconds(model, 100, L, concurrent_workers=2)
+        t_hm = task_runtime_seconds(model, 100, HM4XL, concurrent_workers=8)
+        assert 20 < t_hcxl < 60
+        # The Figure 13 ordering: HM4XL < L < HCXL.
+        assert t_hm < t_l < t_hcxl
+
+    def test_memory_fraction_dominates_on_crowded_hcxl(self):
+        """'Highly memory intensive': with 8 workers sharing the HCXL
+        bus, the memory term must exceed the CPU term."""
+        model = APP_PERF_MODELS["gtm"]
+        cpu = 100 * model.cpu_ghz_seconds_per_unit / HCXL.clock_ghz
+        mem = 100 * model.mem_bytes_per_unit / (HCXL.mem_bandwidth_gbps * 1e9 / 8)
+        assert mem > cpu * 0.9
+
+    def test_azure_small_uncontended(self):
+        model = APP_PERF_MODELS["gtm"]
+        alone = task_runtime_seconds(model, 100, AZ_SMALL, concurrent_workers=1)
+        assert 20 < alone < 45
+
+
+class TestCrossAppContrasts:
+    def test_cap3_is_the_compute_bound_one(self):
+        """Cap3's memory fraction must stay negligible — 'memory is not
+        a bottleneck' (Section 4.1)."""
+        model = APP_PERF_MODELS["cap3"]
+        cpu = 458 * model.cpu_ghz_seconds_per_unit / HCXL.clock_ghz
+        mem = 458 * model.mem_bytes_per_unit / (HCXL.mem_bandwidth_gbps * 1e9 / 8)
+        assert mem < 0.1 * cpu
+
+    def test_blast_is_the_memory_capacity_one(self):
+        assert APP_PERF_MODELS["blast"].shared_working_set_gb > 8.0
+        assert APP_PERF_MODELS["cap3"].shared_working_set_gb == 0.0
+        assert APP_PERF_MODELS["gtm"].shared_working_set_gb == 0.0
+
+    def test_gtm_is_the_bandwidth_one(self):
+        gtm = APP_PERF_MODELS["gtm"]
+        blast = APP_PERF_MODELS["blast"]
+        cap3 = APP_PERF_MODELS["cap3"]
+        # Bytes moved per GHz-second of compute: GTM far ahead.
+        def intensity(m):
+            return m.mem_bytes_per_unit / m.cpu_ghz_seconds_per_unit
+
+        assert intensity(gtm) > 10 * intensity(blast)
+        assert intensity(gtm) > 100 * intensity(cap3)

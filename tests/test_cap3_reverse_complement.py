@@ -1,0 +1,121 @@
+"""Tests for reverse-complement handling in the assembler."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cap3 import (
+    Cap3Params,
+    assemble,
+    reverse_complement,
+)
+from repro.apps.fasta import FastaRecord
+
+
+def random_genome(length, seed=0):
+    rng = np.random.default_rng(seed)
+    return "".join("ACGT"[i] for i in rng.integers(0, 4, size=length))
+
+
+def shotgun_both_strands(genome, read_len=100, step=50, seed=0):
+    """Tiled reads, each randomly on the forward or reverse strand."""
+    rng = np.random.default_rng(seed)
+    reads = []
+    strands = {}
+    for n, start in enumerate(range(0, len(genome) - read_len + 1, step)):
+        fragment = genome[start : start + read_len]
+        if rng.random() < 0.5:
+            fragment = reverse_complement(fragment)
+            strands[f"read{n}"] = "-"
+        else:
+            strands[f"read{n}"] = "+"
+        reads.append(FastaRecord(id=f"read{n}", seq=fragment))
+    return reads, strands
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAAA") == "TTTT"
+        assert reverse_complement("ACGTN") == "NACGT"
+        assert reverse_complement("") == ""
+
+    def test_involution(self):
+        genome = random_genome(200, seed=1)
+        assert reverse_complement(reverse_complement(genome)) == genome
+
+
+class TestMixedStrandAssembly:
+    def test_mixed_strand_reads_reconstruct_genome(self):
+        genome = random_genome(500, seed=2)
+        reads, _ = shotgun_both_strands(genome, seed=3)
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        contig = result.contigs[0].seq
+        # The consensus is the genome or its reverse complement.
+        assert contig in (genome, reverse_complement(genome))
+        assert result.singletons == []
+
+    def test_strands_recorded_in_layout(self):
+        genome = random_genome(400, seed=4)
+        reads, truth = shotgun_both_strands(genome, seed=5)
+        result = assemble(reads)
+        (contig,) = result.contigs
+        assert set(contig.strands) == {r.id for r in reads}
+        # The assembler may settle on either global orientation; strand
+        # calls must match the truth up to a global flip.
+        calls = [contig.strands[rid] for rid in sorted(truth)]
+        expected = [truth[rid] for rid in sorted(truth)]
+        flipped = ["-" if s == "+" else "+" for s in expected]
+        assert calls in (expected, flipped)
+
+    def test_all_reverse_reads_assemble(self):
+        genome = random_genome(400, seed=6)
+        reads = [
+            FastaRecord(
+                id=f"r{i}",
+                seq=reverse_complement(genome[s : s + 100]),
+            )
+            for i, s in enumerate(range(0, 301, 50))
+        ]
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        assert result.contigs[0].seq in (genome, reverse_complement(genome))
+
+    def test_disabled_flag_falls_back_to_forward_only(self):
+        genome = random_genome(400, seed=7)
+        reads, strands = shotgun_both_strands(genome, seed=8)
+        if all(s == "+" for s in strands.values()):
+            pytest.skip("random draw produced no reverse reads")
+        off = assemble(
+            reads, Cap3Params(handle_reverse_complements=False)
+        )
+        on = assemble(reads)
+        # Forward-only mode fragments the assembly that RC mode completes.
+        assert len(on.contigs) == 1
+        assert (
+            len(off.contigs) != 1
+            or len(off.singletons) > 0
+            or off.contigs[0].seq not in (genome, reverse_complement(genome))
+        )
+
+    def test_forward_only_data_unaffected_by_rc_support(self):
+        genome = random_genome(400, seed=9)
+        reads = [
+            FastaRecord(id=f"r{i}", seq=genome[s : s + 100])
+            for i, s in enumerate(range(0, 301, 50))
+        ]
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        assert result.contigs[0].seq == genome
+        assert all(s == "+" for s in result.contigs[0].strands.values())
+        assert result.stats["reads_flipped"] == 0
+
+    def test_stats_report_flips(self):
+        genome = random_genome(400, seed=10)
+        reads, strands = shotgun_both_strands(genome, seed=11)
+        result = assemble(reads)
+        n_minus = sum(1 for s in strands.values() if s == "-")
+        n_plus = len(strands) - n_minus
+        # Flips equal whichever orientation lost the majority vote (the
+        # component root's strand is kept).
+        assert result.stats["reads_flipped"] in (n_minus, n_plus)

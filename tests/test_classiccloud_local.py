@@ -1,0 +1,164 @@
+"""Tests for the local (real-execution) Classic Cloud framework."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.executables import (
+    BlastExecutable,
+    Cap3Executable,
+    GtmInterpolationExecutable,
+)
+from repro.apps.fasta import read_fasta
+from repro.apps.gtm import train_gtm
+from repro.classiccloud import LocalClassicCloud, LocalQueue
+from repro.workloads.genome import write_cap3_workload
+from repro.workloads.protein import write_blast_workload
+from repro.workloads.pubchem import write_gtm_workload
+
+
+class TestLocalQueue:
+    def test_send_receive_delete(self):
+        q = LocalQueue(visibility_timeout_s=10.0)
+        q.send("a")
+        msg = q.receive()
+        assert msg.body == "a"
+        assert q.delete(msg) is True
+        assert q.receive() is None
+        assert q.approximate_size() == 0
+
+    def test_empty_receive_returns_none(self):
+        q = LocalQueue()
+        assert q.receive() is None
+
+    def test_visibility_timeout_reappearance(self):
+        q = LocalQueue(visibility_timeout_s=0.05)
+        q.send("t")
+        first = q.receive()
+        assert first is not None
+        assert q.receive() is None  # hidden
+        time.sleep(0.08)
+        second = q.receive()
+        assert second is not None
+        assert second.message_id == first.message_id
+        assert second.receive_count == 2
+        assert q.reappearances == 1
+
+    def test_stale_receipt_delete_fails_after_rereceive(self):
+        q = LocalQueue(visibility_timeout_s=0.05)
+        q.send("t")
+        old = q.receive()
+        time.sleep(0.08)
+        new = q.receive()
+        assert q.delete(old) is False
+        assert q.delete(new) is True
+
+    def test_delete_after_reappearance_but_before_rereceive_succeeds(self):
+        q = LocalQueue(visibility_timeout_s=0.05)
+        q.send("t")
+        msg = q.receive()
+        time.sleep(0.08)
+        # Reappeared but nobody re-received it yet: original worker can
+        # still claim completion.
+        assert q.delete(msg) is True
+        assert q.receive() is None
+
+    def test_fifo_within_visible(self):
+        q = LocalQueue()
+        for i in range(5):
+            q.send(i)
+        got = [q.receive().body for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            LocalQueue(visibility_timeout_s=0)
+
+
+class TestLocalCap3Run:
+    def test_end_to_end_assembly(self, tmp_path):
+        tasks = write_cap3_workload(tmp_path, n_files=6, reads_per_file=12)
+        runner = LocalClassicCloud(n_workers=3)
+        result = runner.run(Cap3Executable(), tasks)
+        assert result.n_tasks == 6
+        assert len(result.completed_task_ids) == 6
+        for task in tasks:
+            out = read_fasta(task.output_key)
+            assert out, f"empty output for {task.task_id}"
+            assert out[0].id.startswith("Contig") or out[0].id.startswith("read")
+
+    def test_replicated_files_produce_identical_outputs(self, tmp_path):
+        tasks = write_cap3_workload(
+            tmp_path, n_files=4, reads_per_file=10, replicated=True
+        )
+        LocalClassicCloud(n_workers=2).run(Cap3Executable(), tasks)
+        contents = {open(t.output_key).read() for t in tasks}
+        assert len(contents) == 1
+
+    def test_single_worker_matches_parallel(self, tmp_path):
+        tasks_a = write_cap3_workload(
+            tmp_path / "a", n_files=4, reads_per_file=10, seed=5
+        )
+        tasks_b = write_cap3_workload(
+            tmp_path / "b", n_files=4, reads_per_file=10, seed=5
+        )
+        LocalClassicCloud(n_workers=1).run(Cap3Executable(), tasks_a)
+        LocalClassicCloud(n_workers=4).run(Cap3Executable(), tasks_b)
+        for ta, tb in zip(tasks_a, tasks_b):
+            assert open(ta.output_key).read() == open(tb.output_key).read()
+
+    def test_crashed_worker_task_recovered(self, tmp_path):
+        """Worker 0 dies on its first receive; the visibility timeout
+        returns its task to the queue and another worker completes it."""
+        tasks = write_cap3_workload(tmp_path, n_files=5, reads_per_file=10)
+        runner = LocalClassicCloud(
+            n_workers=3,
+            visibility_timeout_s=0.2,
+            crash_worker_on_receive={0: 1},
+            timeout_s=60.0,
+        )
+        result = runner.run(Cap3Executable(), tasks)
+        assert len(result.completed_task_ids) == 5
+        assert result.extras["reappearances"] >= 1
+        for task in tasks:
+            assert read_fasta(task.output_key)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            LocalClassicCloud().run(Cap3Executable(), [])
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            LocalClassicCloud(n_workers=0)
+
+
+class TestLocalBlastRun:
+    def test_end_to_end_search(self, tmp_path):
+        tasks, db = write_blast_workload(
+            tmp_path, n_files=4, queries_per_file=5, db_sequences=15
+        )
+        result = LocalClassicCloud(n_workers=2).run(BlastExecutable(db), tasks)
+        assert len(result.completed_task_ids) == 4
+        # Roughly half the queries are planted homologs; most output
+        # files should contain hits.
+        hit_files = sum(
+            1 for t in tasks if open(t.output_key).read().strip()
+        )
+        assert hit_files >= 2
+
+
+class TestLocalGtmRun:
+    def test_end_to_end_interpolation(self, tmp_path):
+        tasks, sample = write_gtm_workload(
+            tmp_path, n_files=4, points_per_file=80, dimensions=8
+        )
+        model = train_gtm(sample, latent_per_dim=5, rbf_per_dim=3, iterations=5)
+        result = LocalClassicCloud(n_workers=2).run(
+            GtmInterpolationExecutable(model), tasks
+        )
+        assert len(result.completed_task_ids) == 4
+        for task in tasks:
+            latent = np.load(task.output_key)
+            assert latent.shape == (80, 2)
+            assert np.abs(latent).max() <= 1.0 + 1e-9

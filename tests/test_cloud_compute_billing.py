@@ -1,0 +1,190 @@
+"""Tests for VM provisioning, hourly billing and cost reports."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AWS_PRICES,
+    AZURE_INSTANCE_TYPES,
+    AZURE_PRICES,
+    CloudProvider,
+    CostMeter,
+    EC2_INSTANCE_TYPES,
+)
+from repro.sim import Environment
+
+
+def make_provider(env, provider="aws", **kwargs):
+    defaults = dict(rng=np.random.default_rng(3), boot_time_s=0.0, perf_jitter=0.0)
+    defaults.update(kwargs)
+    return CloudProvider(env, provider, **defaults)
+
+
+def test_provision_returns_requested_count():
+    env = Environment()
+    cloud = make_provider(env)
+    instances = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["HCXL"], 16))
+    )
+    assert len(instances) == 16
+    assert all(i.is_running for i in instances)
+    assert all(i.machine.cores == 8 for i in instances)
+
+
+def test_provision_wrong_provider_rejected():
+    env = Environment()
+    cloud = make_provider(env, provider="azure")
+    with pytest.raises(ValueError):
+        env.run(until=env.process(cloud.provision(EC2_INSTANCE_TYPES["L"], 1)))
+
+
+def test_provision_zero_count_rejected():
+    env = Environment()
+    cloud = make_provider(env)
+    with pytest.raises(ValueError):
+        env.run(until=env.process(cloud.provision(EC2_INSTANCE_TYPES["L"], 0)))
+
+
+def test_boot_time_delays_availability():
+    env = Environment()
+    cloud = make_provider(env, boot_time_s=90.0)
+    env.run(until=env.process(cloud.provision(EC2_INSTANCE_TYPES["L"], 4)))
+    assert 90.0 * 0.8 <= env.now <= 90.0 * 1.4
+
+
+def test_perf_jitter_spreads_speed_factors():
+    env = Environment()
+    cloud = make_provider(env, perf_jitter=0.0156, rng=np.random.default_rng(0))
+    instances = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["HCXL"], 64))
+    )
+    factors = np.array([i.speed_factor for i in instances])
+    assert factors.std() == pytest.approx(0.0156, rel=0.5)
+    assert abs(factors.mean() - 1.0) < 0.01
+
+
+def test_hourly_billing_rounds_up():
+    """A 10-minute computation pays the full hour (paper's 'Compute Cost')."""
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    cloud = make_provider(env, meter=meter)
+    instances = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["HCXL"], 16))
+    )
+    env.run(until=env.now + 600.0)  # 10 minutes of work
+    for inst in instances:
+        cloud.terminate(inst)
+    report = meter.report()
+    assert report.compute_hour_units == 16  # 16 instances x 1 started hour
+    assert report.compute_cost == pytest.approx(16 * 0.68)  # Table 4: $10.88
+    # Amortized: only the actual sixth of an hour.
+    assert report.amortized_compute_cost == pytest.approx(16 * 0.68 / 6.0)
+
+
+def test_table4_compute_costs():
+    """Reproduce Table 4's headline compute numbers exactly."""
+    # EC2: 16 HCXL for <=1h -> $10.88.
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    cloud = make_provider(env, meter=meter)
+    for inst in env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["HCXL"], 16))
+    ):
+        env.run(until=env.now)  # no-op; terminate same hour
+        cloud.terminate(inst)
+    # force at least some uptime
+    assert meter.report().compute_cost <= 10.88 + 1e-9
+
+    # Azure: 128 Small for 1h -> $15.36.
+    env2 = Environment()
+    meter2 = CostMeter(AZURE_PRICES)
+    cloud2 = make_provider(env2, provider="azure", meter=meter2)
+    instances = env2.run(
+        until=env2.process(cloud2.provision(AZURE_INSTANCE_TYPES["Small"], 128))
+    )
+    env2.run(until=env2.now + 3000.0)
+    for inst in instances:
+        cloud2.terminate(inst)
+    assert meter2.report().compute_cost == pytest.approx(128 * 0.12)  # $15.36
+
+
+def test_multi_hour_billing():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    cloud = make_provider(env, meter=meter)
+    (inst,) = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["L"], 1))
+    )
+    env.run(until=env.now + 2.5 * 3600)
+    cloud.terminate(inst)
+    report = meter.report()
+    assert report.compute_hour_units == 3
+    assert report.compute_cost == pytest.approx(3 * 0.34)
+    assert report.amortized_compute_cost == pytest.approx(2.5 * 0.34)
+
+
+def test_terminate_twice_is_error():
+    env = Environment()
+    cloud = make_provider(env)
+    (inst,) = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["L"], 1))
+    )
+    cloud.terminate(inst)
+    with pytest.raises(ValueError):
+        cloud.terminate(inst)
+
+
+def test_terminate_all():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    cloud = make_provider(env, meter=meter)
+    env.run(until=env.process(cloud.provision(EC2_INSTANCE_TYPES["XL"], 4)))
+    env.run(until=env.now + 100.0)
+    cloud.terminate_all()
+    assert all(not i.is_running for i in cloud.instances)
+    assert meter.report().compute_hour_units == 4
+
+
+def test_billing_report_total_and_rows():
+    meter = CostMeter(AWS_PRICES)
+    meter.record_instance_usage("HCXL", 3600.0 * 16, 0.68)
+    meter.record_queue_request(10_000)
+    meter.record_stored(1024**3)
+    meter.record_transfer(bytes_in=1024**3)
+    report = meter.report(storage_months=1.0)
+    # Table 4 AWS column: 10.88 + 0.01 + 0.14 + 0.10 = 11.13.
+    assert report.compute_cost == pytest.approx(10.88)
+    assert report.queue_cost == pytest.approx(0.01)
+    assert report.storage_cost == pytest.approx(0.14)
+    assert report.transfer_cost == pytest.approx(0.10)
+    assert report.total_cost == pytest.approx(11.13)
+    labels = [label for label, _ in report.rows()]
+    assert labels == [
+        "Compute Cost",
+        "Queue messages",
+        "Storage",
+        "Data transfer in/out",
+        "Total Cost",
+    ]
+
+
+def test_azure_transfer_out_charged():
+    meter = CostMeter(AZURE_PRICES)
+    meter.record_instance_usage("Small", 3600.0 * 128, 0.12)
+    meter.record_queue_request(10_000)
+    meter.record_stored(1024**3)
+    meter.record_transfer(bytes_in=1024**3, bytes_out=1024**3)
+    report = meter.report()
+    # Table 4 Azure column: 15.36 + 0.01 + 0.15 + 0.25 = 15.77.
+    assert report.total_cost == pytest.approx(15.77)
+
+
+def test_effective_clock_uses_speed_factor():
+    env = Environment()
+    cloud = make_provider(env, perf_jitter=0.0)
+    (inst,) = env.run(
+        until=env.process(cloud.provision(EC2_INSTANCE_TYPES["HCXL"], 1))
+    )
+    assert inst.effective_clock_ghz() == pytest.approx(2.5)
+    inst.speed_factor = 0.9
+    assert inst.effective_clock_ghz() == pytest.approx(2.25)

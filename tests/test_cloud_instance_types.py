@@ -1,0 +1,156 @@
+"""Tests for the instance-type catalogs (paper Tables 1 and 2)."""
+
+import pytest
+
+from repro.cloud import (
+    AZURE_INSTANCE_TYPES,
+    EC2_INSTANCE_TYPES,
+    InstanceType,
+    MachineModel,
+    get_instance_type,
+)
+
+
+class TestTable1EC2:
+    def test_catalog_matches_table1_costs(self):
+        assert EC2_INSTANCE_TYPES["L"].cost_per_hour == 0.34
+        assert EC2_INSTANCE_TYPES["XL"].cost_per_hour == 0.68
+        assert EC2_INSTANCE_TYPES["HCXL"].cost_per_hour == 0.68
+        assert EC2_INSTANCE_TYPES["HM4XL"].cost_per_hour == 2.00
+
+    def test_catalog_matches_table1_memory(self):
+        assert EC2_INSTANCE_TYPES["L"].machine.memory_gb == 7.5
+        assert EC2_INSTANCE_TYPES["XL"].machine.memory_gb == 15.0
+        assert EC2_INSTANCE_TYPES["HCXL"].machine.memory_gb == 7.0
+        assert EC2_INSTANCE_TYPES["HM4XL"].machine.memory_gb == 68.4
+
+    def test_catalog_matches_table1_compute_units(self):
+        assert EC2_INSTANCE_TYPES["L"].ec2_compute_units == 4
+        assert EC2_INSTANCE_TYPES["XL"].ec2_compute_units == 8
+        assert EC2_INSTANCE_TYPES["HCXL"].ec2_compute_units == 20
+        assert EC2_INSTANCE_TYPES["HM4XL"].ec2_compute_units == 26
+
+    def test_catalog_matches_table1_cores(self):
+        assert EC2_INSTANCE_TYPES["L"].machine.cores == 2
+        assert EC2_INSTANCE_TYPES["XL"].machine.cores == 4
+        assert EC2_INSTANCE_TYPES["HCXL"].machine.cores == 8
+        assert EC2_INSTANCE_TYPES["HM4XL"].machine.cores == 8
+
+    def test_hcxl_same_price_as_xl_more_compute(self):
+        """The paper highlights HCXL: same cost as XL, more CPU, less RAM."""
+        xl, hcxl = EC2_INSTANCE_TYPES["XL"], EC2_INSTANCE_TYPES["HCXL"]
+        assert hcxl.cost_per_hour == xl.cost_per_hour
+        assert hcxl.machine.compute_ghz_total > xl.machine.compute_ghz_total
+        assert hcxl.machine.memory_gb < xl.machine.memory_gb
+
+    def test_small_is_32bit(self):
+        assert EC2_INSTANCE_TYPES["Small"].bits == 32
+
+    def test_all_studied_types_are_64bit(self):
+        for name in ("L", "XL", "HCXL", "HM4XL"):
+            assert EC2_INSTANCE_TYPES[name].bits == 64
+
+
+class TestTable2Azure:
+    def test_catalog_matches_table2_costs(self):
+        assert AZURE_INSTANCE_TYPES["Small"].cost_per_hour == 0.12
+        assert AZURE_INSTANCE_TYPES["Medium"].cost_per_hour == 0.24
+        assert AZURE_INSTANCE_TYPES["Large"].cost_per_hour == 0.48
+        assert AZURE_INSTANCE_TYPES["ExtraLarge"].cost_per_hour == 0.96
+
+    def test_catalog_matches_table2_cores(self):
+        assert AZURE_INSTANCE_TYPES["Small"].machine.cores == 1
+        assert AZURE_INSTANCE_TYPES["Medium"].machine.cores == 2
+        assert AZURE_INSTANCE_TYPES["Large"].machine.cores == 4
+        assert AZURE_INSTANCE_TYPES["ExtraLarge"].machine.cores == 8
+
+    def test_linear_scaling_of_cost_and_resources(self):
+        """Azure features and cost scale linearly with instance size."""
+        small = AZURE_INSTANCE_TYPES["Small"]
+        for name, factor in (("Medium", 2), ("Large", 4), ("ExtraLarge", 8)):
+            big = AZURE_INSTANCE_TYPES[name]
+            assert big.cost_per_hour == pytest.approx(small.cost_per_hour * factor)
+            assert big.machine.cores == small.machine.cores * factor
+            assert big.machine.mem_bandwidth_gbps == pytest.approx(
+                small.machine.mem_bandwidth_gbps * factor
+            )
+
+    def test_all_azure_instances_are_windows(self):
+        for itype in AZURE_INSTANCE_TYPES.values():
+            assert itype.machine.os == "windows"
+
+    def test_azure_small_comparable_to_hcxl_core(self):
+        """8 Azure Small ~ 1 EC2 HCXL for Cap3 (paper Section 2.1.2).
+
+        Cap3 runs ~12.5% faster on Windows, so 8 Azure-Small effective
+        Windows throughput should be within ~15% of one HCXL.
+        """
+        azure = AZURE_INSTANCE_TYPES["Small"].machine
+        hcxl = EC2_INSTANCE_TYPES["HCXL"].machine
+        azure_total = 8 * azure.clock_ghz * 1.125  # Windows Cap3 advantage
+        assert azure_total == pytest.approx(hcxl.compute_ghz_total, rel=0.15)
+
+
+class TestMachineModelValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineModel(cores=0, clock_ghz=2.0, memory_gb=4, mem_bandwidth_gbps=5)
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            MachineModel(cores=1, clock_ghz=0.0, memory_gb=4, mem_bandwidth_gbps=5)
+
+    def test_rejects_unknown_os(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                cores=1, clock_ghz=2.0, memory_gb=4, mem_bandwidth_gbps=5, os="beos"
+            )
+
+    def test_compute_ghz_total(self):
+        m = MachineModel(cores=4, clock_ghz=2.5, memory_gb=8, mem_bandwidth_gbps=6)
+        assert m.compute_ghz_total == 10.0
+
+
+class TestInstanceTypeHelpers:
+    def test_lookup_by_name(self):
+        assert get_instance_type("aws", "HCXL").name == "HCXL"
+        assert get_instance_type("azure", "Small").provider == "azure"
+
+    def test_lookup_by_alias(self):
+        assert get_instance_type("aws", "High CPU Extra Large").name == "HCXL"
+        assert get_instance_type("aws", "Large").name == "L"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_instance_type("aws", "Gigantic")
+        with pytest.raises(KeyError):
+            get_instance_type("gcp", "n1")
+
+    def test_with_os_returns_modified_copy(self):
+        hcxl = EC2_INSTANCE_TYPES["HCXL"]
+        windows = hcxl.with_os("windows")
+        assert windows.machine.os == "windows"
+        assert hcxl.machine.os == "linux"  # original untouched
+        assert windows.cost_per_hour == hcxl.cost_per_hour
+
+    def test_instance_type_rejects_bad_provider(self):
+        with pytest.raises(ValueError):
+            InstanceType(
+                name="x",
+                provider="ibm",
+                machine=MachineModel(
+                    cores=1, clock_ghz=1, memory_gb=1, mem_bandwidth_gbps=1
+                ),
+                cost_per_hour=0.1,
+            )
+
+    def test_instance_type_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            InstanceType(
+                name="x",
+                provider="aws",
+                machine=MachineModel(
+                    cores=1, clock_ghz=1, memory_gb=1, mem_bandwidth_gbps=1
+                ),
+                cost_per_hour=-1.0,
+            )

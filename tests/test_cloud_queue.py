@@ -1,0 +1,327 @@
+"""Tests for the simulated message queue (SQS / Azure Queue)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import AWS_PRICES, CostMeter, Message, MessageQueue
+from repro.cloud.queue import StaleReceiptError
+from repro.sim import Environment
+
+
+def make_queue(env, **kwargs):
+    defaults = dict(
+        rng=np.random.default_rng(5),
+        visibility_timeout_s=30.0,
+        request_latency_s=0.010,
+        latency_sigma=0.0,
+        propagation_delay_s=0.0,
+        miss_probability=0.0,
+    )
+    defaults.update(kwargs)
+    return MessageQueue(env, "tasks", **defaults)
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_send_receive_delete_happy_path():
+    env = Environment()
+    q = make_queue(env)
+    drive(env, q.send({"task": 1}))
+    msg = drive(env, q.receive())
+    assert isinstance(msg, Message)
+    assert msg.body == {"task": 1}
+    assert msg.receive_count == 1
+    drive(env, q.delete(msg))
+    assert q.approximate_size() == 0
+    assert drive(env, q.receive()) is None
+
+
+def test_empty_receive_returns_none():
+    env = Environment()
+    q = make_queue(env)
+    assert drive(env, q.receive()) is None
+    assert q.stats.empty_receives == 1
+
+
+def test_message_hidden_during_visibility_timeout():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=60.0)
+    drive(env, q.send("t"))
+    first = drive(env, q.receive())
+    assert first is not None
+    # Immediately after: the message is invisible.
+    assert drive(env, q.receive()) is None
+    assert q.visible_now() == 0
+
+
+def test_message_reappears_after_visibility_timeout():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=10.0)
+    drive(env, q.send("t"))
+    msg1 = drive(env, q.receive())
+    env.run(until=env.now + 11.0)
+    msg2 = drive(env, q.receive())
+    assert msg2 is not None
+    assert msg2.message_id == msg1.message_id
+    assert msg2.receive_count == 2
+    assert q.stats.reappearances == 1
+    assert q.stats.duplicate_deliveries == 1
+
+
+def test_delete_with_stale_receipt_fails():
+    """If a message reappeared and was re-received, the original receipt
+    can no longer delete it — the new consumer owns it (SQS behaviour)."""
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0)
+    drive(env, q.send("t"))
+    old = drive(env, q.receive())
+    env.run(until=env.now + 6.0)
+    new = drive(env, q.receive())
+    assert new.receipt != old.receipt
+    with pytest.raises(StaleReceiptError):
+        drive(env, q.delete(old))
+    drive(env, q.delete(new))  # the live receipt works
+    assert q.approximate_size() == 0
+
+
+def test_delete_before_reappearance_prevents_redelivery():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0)
+    drive(env, q.send("t"))
+    msg = drive(env, q.receive())
+    drive(env, q.delete(msg))
+    env.run(until=env.now + 10.0)
+    assert drive(env, q.receive()) is None
+    assert q.stats.reappearances == 0
+
+
+def test_propagation_delay_hides_fresh_messages():
+    env = Environment()
+    q = make_queue(env, propagation_delay_s=2.0)
+    drive(env, q.send("t"))
+    # Sent but not yet propagated.
+    assert drive(env, q.receive()) is None
+    env.run(until=env.now + 2.5)
+    assert drive(env, q.receive()) is not None
+
+
+def test_no_ordering_guarantee():
+    """Receives return messages in effectively arbitrary order."""
+    env = Environment()
+    q = make_queue(env, rng=np.random.default_rng(42))
+    for i in range(50):
+        drive(env, q.send(i))
+    received = []
+    while True:
+        msg = drive(env, q.receive())
+        if msg is None:
+            break
+        received.append(msg.body)
+        drive(env, q.delete(msg))
+    assert sorted(received) == list(range(50))  # all delivered...
+    assert received != list(range(50))  # ...but not FIFO
+
+
+def test_miss_probability_causes_empty_receives_with_backlog():
+    env = Environment()
+    q = make_queue(env, rng=np.random.default_rng(1), miss_probability=0.5)
+    for i in range(10):
+        drive(env, q.send(i))
+    outcomes = [drive(env, q.receive(visibility_timeout_s=0.001)) for _ in range(40)]
+    assert any(m is None for m in outcomes)
+    assert any(m is not None for m in outcomes)
+
+
+def test_duplicate_probability_leaves_message_visible():
+    env = Environment()
+    q = make_queue(
+        env, rng=np.random.default_rng(2), duplicate_probability=1.0
+    )
+    drive(env, q.send("dup"))
+    m1 = drive(env, q.receive())
+    m2 = drive(env, q.receive())  # still visible: duplicated delivery
+    assert m1 is not None and m2 is not None
+    assert m1.message_id == m2.message_id
+    assert q.stats.duplicate_deliveries >= 1
+
+
+def test_change_visibility_extends_window():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0)
+    drive(env, q.send("t"))
+    msg = drive(env, q.receive())
+    drive(env, q.change_visibility(msg, 60.0))
+    env.run(until=env.now + 10.0)  # original window long past
+    assert drive(env, q.receive()) is None  # still hidden
+    env.run(until=env.now + 60.0)
+    assert drive(env, q.receive()) is not None  # extended window expired
+
+
+def test_change_visibility_with_stale_receipt_fails():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=1.0)
+    drive(env, q.send("t"))
+    msg = drive(env, q.receive())
+    env.run(until=env.now + 2.0)
+    drive(env, q.receive())  # reappears, re-received by someone else
+    with pytest.raises(StaleReceiptError):
+        drive(env, q.change_visibility(msg, 60.0))
+
+
+def test_per_receive_visibility_override():
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=1000.0)
+    drive(env, q.send("t"))
+    drive(env, q.receive(visibility_timeout_s=2.0))
+    env.run(until=env.now + 3.0)
+    assert drive(env, q.receive()) is not None
+
+
+def test_request_metering():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    q = make_queue(env, meter=meter)
+    drive(env, q.send("a"))
+    msg = drive(env, q.receive())
+    drive(env, q.delete(msg))
+    assert meter.queue_requests == 3
+    # ~10,000 requests cost $0.01 (Table 4 line item).
+    assert AWS_PRICES.queue_cost(10_000) == pytest.approx(0.01)
+
+
+def test_long_polling_waits_for_message():
+    env = Environment()
+    q = make_queue(env)
+
+    def late_sender(env):
+        yield env.timeout(3.0)
+        yield env.process(q.send("eventually"))
+
+    def long_poller(env):
+        msg = yield env.process(q.receive(wait_time_s=10.0))
+        return (env.now, msg.body)
+
+    env.process(late_sender(env))
+    when, body = env.run(until=env.process(long_poller(env)))
+    assert body == "eventually"
+    assert 3.0 <= when < 3.5
+    assert q.stats.empty_receives == 0
+
+
+def test_long_polling_times_out_empty():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    q = make_queue(env, meter=meter)
+
+    def poller(env):
+        msg = yield env.process(q.receive(wait_time_s=5.0))
+        return (env.now, msg)
+
+    when, msg = env.run(until=env.process(poller(env)))
+    assert msg is None
+    assert when >= 5.0
+    assert meter.queue_requests == 1  # one metered call for the whole wait
+
+
+def test_long_polling_cuts_request_count():
+    """The cost argument for long polling: polling an idle-then-busy
+    queue with short polls burns requests; one long poll does not."""
+    def run_with(wait, poll_gap):
+        env = Environment()
+        meter = CostMeter(AWS_PRICES)
+        q = make_queue(env, meter=meter)
+
+        def sender(env):
+            yield env.timeout(10.0)
+            yield env.process(q.send("task"))
+
+        def worker(env):
+            while True:
+                msg = yield env.process(q.receive(wait_time_s=wait))
+                if msg is not None:
+                    return
+                yield env.timeout(poll_gap)
+
+        env.process(sender(env))
+        env.run(until=env.process(worker(env)))
+        return meter.queue_requests
+
+    short_poll_requests = run_with(wait=0.0, poll_gap=0.5)
+    long_poll_requests = run_with(wait=20.0, poll_gap=0.5)
+    assert long_poll_requests <= 3
+    assert short_poll_requests > 5 * long_poll_requests
+
+
+def test_negative_wait_rejected():
+    env = Environment()
+    q = make_queue(env)
+    with pytest.raises(ValueError):
+        drive(env, q.receive(wait_time_s=-1.0))
+
+
+def test_send_batch_meters_one_request():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    q = make_queue(env, meter=meter)
+    ids = drive(env, q.send_batch(list(range(10))))
+    assert len(ids) == 10
+    assert meter.queue_requests == 1
+    assert q.stats.sent == 10
+    received = set()
+    while True:
+        msg = drive(env, q.receive())
+        if msg is None:
+            break
+        received.add(msg.body)
+        drive(env, q.delete(msg))
+    assert received == set(range(10))
+
+
+def test_send_batch_size_limits():
+    env = Environment()
+    q = make_queue(env)
+    with pytest.raises(ValueError):
+        drive(env, q.send_batch([]))
+    with pytest.raises(ValueError):
+        drive(env, q.send_batch(list(range(11))))
+
+
+def test_stats_counters():
+    env = Environment()
+    q = make_queue(env)
+    drive(env, q.send("a"))
+    drive(env, q.send("b"))
+    m = drive(env, q.receive())
+    drive(env, q.delete(m))
+    drive(env, q.receive())
+    assert q.stats.sent == 2
+    assert q.stats.received == 2
+    assert q.stats.deleted == 1
+    assert q.approximate_size() == 1
+
+
+def test_at_least_once_no_message_lost_under_crash_pattern():
+    """Receive-without-delete (simulating crashed workers) never loses
+    messages: everything is eventually deliverable again."""
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0, rng=np.random.default_rng(9))
+    n = 20
+    for i in range(n):
+        drive(env, q.send(i))
+    # Round 1: receive all, delete none (all workers "crash").
+    got = 0
+    while drive(env, q.receive()) is not None:
+        got += 1
+    assert got == n
+    # After the visibility timeout, all reappear; now process properly.
+    env.run(until=env.now + 6.0)
+    completed = set()
+    while True:
+        msg = drive(env, q.receive())
+        if msg is None:
+            break
+        completed.add(msg.body)
+        drive(env, q.delete(msg))
+    assert completed == set(range(n))

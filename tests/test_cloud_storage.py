@@ -1,0 +1,190 @@
+"""Tests for the simulated blob store (S3 / Azure Blob)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import AWS_PRICES, BlobNotFound, BlobStore, CostMeter
+from repro.sim import Environment
+
+
+def make_store(env, **kwargs):
+    defaults = dict(
+        rng=np.random.default_rng(7),
+        request_latency_s=0.040,
+        latency_sigma=0.0,  # deterministic latency for timing assertions
+        bandwidth_mbps=50.0,
+    )
+    defaults.update(kwargs)
+    return BlobStore(env, "bucket", **defaults)
+
+
+def drive(env, gen):
+    """Run a storage operation to completion, returning its value."""
+    return env.run(until=env.process(gen))
+
+
+def test_put_then_get_roundtrip():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("in/task1.fa", size=100_000, payload=b"ACGT"))
+    blob = drive(env, store.get("in/task1.fa"))
+    assert blob.key == "in/task1.fa"
+    assert blob.size == 100_000
+    assert blob.payload == b"ACGT"
+
+
+def test_get_missing_raises_not_found():
+    env = Environment()
+    store = make_store(env)
+    with pytest.raises(BlobNotFound):
+        drive(env, store.get("missing"))
+    assert store.stats.not_found == 1
+
+
+def test_transfer_time_scales_with_size():
+    env = Environment()
+    store = make_store(env)
+    t0 = env.now
+    drive(env, store.put("small", size=1_000_000))
+    small_time = env.now - t0
+    t1 = env.now
+    drive(env, store.put("big", size=100_000_000))
+    big_time = env.now - t1
+    # 100 MB at 50 MB/s = 2 s transfer vs 0.02 s: sizes dominate latency.
+    assert big_time > small_time
+    assert big_time == pytest.approx(0.040 + 100_000_000 / 50e6)
+
+
+def test_request_latency_charged_even_for_empty_objects():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("empty", size=0))
+    assert env.now == pytest.approx(0.040)
+
+
+def test_put_overwrites_and_bumps_version():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("k", size=10))
+    drive(env, store.put("k", size=20))
+    blob = drive(env, store.get("k"))
+    assert blob.version == 1
+    assert blob.size == 20
+    assert len(store) == 1
+
+
+def test_delete_is_idempotent():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("k", size=10))
+    drive(env, store.delete("k"))
+    drive(env, store.delete("k"))  # no error
+    with pytest.raises(BlobNotFound):
+        drive(env, store.get("k"))
+
+
+def test_head_and_list_keys():
+    env = Environment()
+    store = make_store(env)
+    for name in ("in/a", "in/b", "out/c"):
+        drive(env, store.put(name, size=1))
+    assert drive(env, store.head("in/a")) is True
+    assert drive(env, store.head("in/zzz")) is False
+    assert drive(env, store.list_keys("in/")) == ["in/a", "in/b"]
+    assert drive(env, store.list_keys()) == ["in/a", "in/b", "out/c"]
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    store = make_store(env)
+    with pytest.raises(ValueError):
+        drive(env, store.put("k", size=-1))
+
+
+def test_metering_counts_requests_and_bytes():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    store = make_store(env, meter=meter)
+    drive(env, store.put("k", size=1024**3))  # exactly 1 GB
+    drive(env, store.get("k"))
+    assert meter.storage_requests == 2
+    assert meter.bytes_stored == 1024**3
+    report = meter.report(storage_months=1.0)
+    assert report.storage_cost == pytest.approx(
+        0.14 + 2 * AWS_PRICES.storage_request_price
+    )
+
+
+def test_eventual_consistency_can_serve_stale_version():
+    env = Environment()
+    store = make_store(
+        env,
+        rng=np.random.default_rng(0),
+        consistency_window_s=10.0,
+    )
+    drive(env, store.put("k", size=10, payload="v0"))
+    env.run(until=env.now + 60.0)  # settle past the window
+    drive(env, store.put("k", size=20, payload="v1"))
+    # Read repeatedly within the window: some reads must be stale.
+    versions = set()
+    for _ in range(20):
+        blob = drive(env, store.get("k"))
+        versions.add(blob.payload)
+    assert "v0" in versions  # stale read happened
+    assert store.stats.stale_reads > 0
+    # After the window closes, reads are always fresh.
+    env.run(until=env.now + 20.0)
+    assert drive(env, store.get("k")).payload == "v1"
+
+
+def test_fresh_object_may_transiently_404_under_eventual_consistency():
+    env = Environment()
+    store = make_store(
+        env, rng=np.random.default_rng(3), consistency_window_s=5.0
+    )
+    drive(env, store.put("new", size=10))
+    outcomes = []
+    for _ in range(20):
+        try:
+            drive(env, store.get("new"))
+            outcomes.append("hit")
+        except BlobNotFound:
+            outcomes.append("miss")
+    assert "miss" in outcomes  # at least one invisible read
+    assert "hit" in outcomes
+
+
+def test_retryable_errors_cost_extra_requests_and_time():
+    env = Environment()
+    meter = CostMeter(AWS_PRICES)
+    store = make_store(
+        env, rng=np.random.default_rng(11), error_rate=0.5, meter=meter
+    )
+    drive(env, store.put("k", size=1))
+    # With a 50% error rate the expected request count for one successful
+    # op is 2; over several ops we must see more requests than ops.
+    for _ in range(10):
+        drive(env, store.get("k"))
+    assert meter.storage_requests > 11
+
+
+def test_stats_track_operations():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("a", size=100))
+    drive(env, store.get("a"))
+    drive(env, store.delete("a"))
+    assert store.stats.puts == 1
+    assert store.stats.gets == 1
+    assert store.stats.deletes == 1
+    assert store.stats.bytes_uploaded == 100
+    assert store.stats.bytes_downloaded == 100
+
+
+def test_total_bytes_reflects_current_versions():
+    env = Environment()
+    store = make_store(env)
+    drive(env, store.put("a", size=100))
+    drive(env, store.put("b", size=50))
+    drive(env, store.put("a", size=10))  # overwrite shrinks
+    assert store.total_bytes() == 60

@@ -1,0 +1,205 @@
+"""Tests for post-run analysis helpers and trace export."""
+
+import json
+
+import pytest
+
+from repro.cloud.failures import FaultPlan
+from repro.core.analysis import (
+    completion_timeline,
+    load_balance_index,
+    phase_breakdown,
+    worker_utilization,
+)
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.task import RunResult, TaskRecord
+from repro.workloads.genome import cap3_task_specs
+
+
+@pytest.fixture(scope="module")
+def ec2_run():
+    app = get_application("cap3")
+    tasks = cap3_task_specs(32, reads_per_file=200)
+    backend = make_backend(
+        "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=8
+    )
+    return backend.run(app, tasks)
+
+
+def synthetic_result():
+    records = [
+        TaskRecord(
+            task_id=f"t{i}",
+            worker=f"w{i % 2}",
+            started_at=float(i),
+            finished_at=float(i) + 2.0,
+            download_time=0.2,
+            compute_time=1.6,
+            upload_time=0.2,
+        )
+        for i in range(4)
+    ]
+    return RunResult(
+        backend="test", app_name="x", n_tasks=4,
+        makespan_seconds=6.0, records=records,
+    )
+
+
+class TestTimeline:
+    def test_monotone_and_complete(self, ec2_run):
+        timeline = completion_timeline(ec2_run)
+        assert len(timeline) == ec2_run.n_tasks
+        times = [t for t, _ in timeline]
+        counts = [c for _, c in timeline]
+        assert times == sorted(times)
+        assert counts == list(range(1, ec2_run.n_tasks + 1))
+        assert times[-1] <= ec2_run.makespan_seconds + ec2_run.extras.get(
+            "preload_seconds", 0.0
+        ) + 1e6  # sanity only: finite
+
+    def test_synthetic(self):
+        timeline = completion_timeline(synthetic_result())
+        assert timeline == [(2.0, 1), (3.0, 2), (4.0, 3), (5.0, 4)]
+
+
+class TestUtilization:
+    def test_bounded_and_high_for_balanced_run(self, ec2_run):
+        utilization = worker_utilization(ec2_run)
+        assert len(utilization) == 16  # 2 HCXL x 8 workers
+        for value in utilization.values():
+            assert 0.0 < value <= 1.0
+        # Homogeneous tasks, dynamic queue: everyone stays busy.
+        assert min(utilization.values()) > 0.5
+
+    def test_synthetic(self):
+        utilization = worker_utilization(synthetic_result())
+        assert utilization == {"w0": pytest.approx(4 / 6), "w1": pytest.approx(4 / 6)}
+
+    def test_zero_makespan_rejected(self):
+        empty = RunResult(
+            backend="x", app_name="a", n_tasks=0, makespan_seconds=0.0
+        )
+        with pytest.raises(ValueError):
+            worker_utilization(empty)
+
+
+class TestLoadBalance:
+    def test_dynamic_queue_near_one(self, ec2_run):
+        assert 1.0 <= load_balance_index(ec2_run) < 1.3
+
+    def test_static_partitions_worse_on_skew(self):
+        from dataclasses import replace
+
+        from repro.cluster import get_cluster
+
+        app = get_application("cap3")
+        tasks = cap3_task_specs(32, reads_per_file=300)
+        tasks = [
+            replace(t, work_units=t.work_units * (5.0 if i >= 24 else 1.0))
+            for i, t in enumerate(tasks)
+        ]
+        dryad = make_backend(
+            "dryadlinq",
+            cluster=get_cluster("cap3-baremetal-windows").subset(4),
+        ).run(app, tasks)
+        hadoop = make_backend(
+            "hadoop", cluster=get_cluster("cap3-baremetal").subset(4)
+        ).run(app, tasks)
+        assert load_balance_index(dryad) > load_balance_index(hadoop)
+
+    def test_empty_records_rejected(self):
+        empty = RunResult(
+            backend="x", app_name="a", n_tasks=0, makespan_seconds=1.0
+        )
+        with pytest.raises(ValueError):
+            load_balance_index(empty)
+
+
+class TestPhaseBreakdown:
+    def test_fractions_sum_to_one(self, ec2_run):
+        breakdown = phase_breakdown(ec2_run)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        # Cap3 is compute-dominated with coarse tasks.
+        assert breakdown["compute"] > 0.9
+
+    def test_no_time_rejected(self):
+        empty = RunResult(
+            backend="x", app_name="a", n_tasks=0, makespan_seconds=1.0
+        )
+        with pytest.raises(ValueError):
+            phase_breakdown(empty)
+
+
+class TestGantt:
+    def test_renders_all_workers(self, ec2_run):
+        from repro.core.analysis import gantt_text
+
+        text = gantt_text(ec2_run, width=60)
+        lines = text.split("\n")
+        assert len(lines) == 17  # header + 16 workers
+        assert all("|" in line for line in lines)
+        # Busy marks present; width respected.
+        assert "#" in text
+        body = lines[1].split("|")[1]
+        assert len(body) == 60
+
+    def test_duplicates_marked(self):
+        from repro.core.analysis import gantt_text
+        from repro.core.task import RunResult, TaskRecord
+
+        result = RunResult(
+            backend="x", app_name="a", n_tasks=1, makespan_seconds=10.0,
+            records=[
+                TaskRecord(
+                    task_id="t", worker="w0", started_at=0.0,
+                    finished_at=5.0, won=True,
+                ),
+                TaskRecord(
+                    task_id="t", worker="w1", started_at=0.0,
+                    finished_at=5.0, won=False, was_duplicate=True,
+                ),
+            ],
+        )
+        text = gantt_text(result, width=20)
+        w0_line = next(l for l in text.split("\n") if l.startswith("w0"))
+        w1_line = next(l for l in text.split("\n") if l.startswith("w1"))
+        assert "#" in w0_line and "x" not in w0_line
+        assert "x" in w1_line and "#" not in w1_line
+
+    def test_validation(self):
+        from repro.core.analysis import gantt_text
+        from repro.core.task import RunResult
+
+        empty = RunResult(
+            backend="x", app_name="a", n_tasks=0, makespan_seconds=1.0
+        )
+        with pytest.raises(ValueError):
+            gantt_text(empty)
+        with pytest.raises(ValueError):
+            gantt_text(empty, width=5)
+
+
+class TestTraceExport:
+    def test_json_roundtrip(self, ec2_run, tmp_path):
+        path = tmp_path / "trace.json"
+        text = ec2_run.to_json(path)
+        loaded = json.loads(text)
+        assert loaded == json.loads(path.read_text())
+        assert loaded["backend"] == "classiccloud-aws"
+        assert loaded["n_tasks"] == 32
+        assert len(loaded["completed"]) == 32
+        assert loaded["billing"]["total_cost"] > 0
+        assert len(loaded["records"]) >= 32
+        record = loaded["records"][0]
+        assert set(record) == {
+            "task_id", "worker", "started_at", "finished_at",
+            "download_time", "compute_time", "upload_time", "attempt",
+            "was_duplicate", "speculative", "won",
+        }
+
+    def test_dict_without_billing(self):
+        result = synthetic_result()
+        data = result.to_dict()
+        assert data["billing"] is None
+        assert data["n_tasks"] == 4

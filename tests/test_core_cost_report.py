@@ -1,0 +1,154 @@
+"""Tests for the cost comparison and report rendering."""
+
+import pytest
+
+from repro.cloud.billing import BillingReport
+from repro.cluster.tco import ClusterTco
+from repro.core.cost import cloud_vs_cluster
+from repro.core.report import (
+    FEATURE_MATRIX,
+    feature_matrix_rows,
+    format_series,
+    format_table,
+)
+
+
+def make_report(compute, queue=0.01, storage=0.14, transfer=0.10):
+    return BillingReport(
+        compute_hour_units=16,
+        compute_cost=compute,
+        amortized_compute_cost=compute * 0.8,
+        queue_cost=queue,
+        storage_cost=storage,
+        transfer_cost=transfer,
+        queue_requests=10_000,
+        storage_requests=8_000,
+    )
+
+
+class TestCostComparison:
+    def test_table4_shape(self):
+        comparison = cloud_vs_cluster(
+            aws_report=make_report(10.88),
+            azure_report=make_report(15.36, storage=0.15, transfer=0.25),
+            cluster_wall_hours=0.22,
+        )
+        rows = comparison.table4_rows()
+        assert [r[0] for r in rows] == [
+            "Compute Cost",
+            "Queue messages",
+            "Storage",
+            "Data transfer in/out",
+            "Total Cost",
+        ]
+        assert rows[0][1] == "10.88 $"
+        assert rows[-1][1] == "11.13 $"
+        assert rows[-1][2] == "15.77 $"
+
+    def test_cluster_rows_ordering(self):
+        comparison = cloud_vs_cluster(
+            aws_report=make_report(10.88),
+            azure_report=make_report(15.36),
+            cluster_wall_hours=0.22,
+        )
+        rows = comparison.cluster_rows()
+        assert [r[0] for r in rows] == [
+            "80% utilization",
+            "70% utilization",
+            "60% utilization",
+        ]
+        costs = [float(r[1].split()[0]) for r in rows]
+        assert costs == sorted(costs)
+
+    def test_custom_tco_and_utilizations(self):
+        comparison = cloud_vs_cluster(
+            aws_report=make_report(1.0),
+            azure_report=make_report(1.0),
+            cluster_wall_hours=1.0,
+            tco=ClusterTco(purchase_cost=0.0, yearly_maintenance=8760.0),
+            utilizations=(1.0, 0.5),
+        )
+        costs = dict(comparison.cluster_costs)
+        assert costs[1.0] == pytest.approx(1.0)
+        assert costs[0.5] == pytest.approx(2.0)
+
+
+class TestFeatureMatrix:
+    def test_covers_table3_features(self):
+        assert set(FEATURE_MATRIX) == {
+            "Programming patterns",
+            "Fault tolerance",
+            "Data storage and communication",
+            "Environments",
+            "Scheduling and load balancing",
+        }
+
+    def test_rows_have_all_columns(self):
+        for row in feature_matrix_rows():
+            assert len(row) == 4
+            assert all(isinstance(cell, str) and cell for cell in row)
+
+    def test_key_claims_present(self):
+        rows = {r[0]: r for r in feature_matrix_rows()}
+        assert "time out" in rows["Fault tolerance"][1]
+        assert "HDFS" in rows["Data storage and communication"][2]
+        assert "static task" in rows["Scheduling and load balancing"][3].lower()
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self):
+        from repro.core.report import ascii_bars
+
+        text = ascii_bars(
+            [("HCXL", 640.0), ("HM4XL", 493.0)], width=20, title="T"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 20  # the peak fills the width
+        assert 0 < lines[2].count("#") < 20
+        assert "640" in lines[1]
+
+    def test_zero_values_draw_empty_bars(self):
+        from repro.core.report import ascii_bars
+
+        text = ascii_bars([("a", 0.0), ("b", 0.0)])
+        assert "#" not in text
+
+    def test_validation(self):
+        from repro.core.report import ascii_bars
+
+        with pytest.raises(ValueError):
+            ascii_bars([])
+        with pytest.raises(ValueError):
+            ascii_bars([("a", 1.0)], width=0)
+        with pytest.raises(ValueError):
+            ascii_bars([("a", -1.0)])
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data lines equal width.
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_series_merges_x_values(self):
+        text = format_series(
+            "cores",
+            {
+                "EC2": {64: 0.9, 128: 0.85},
+                "Hadoop": {64: 0.95},
+            },
+        )
+        lines = text.split("\n")
+        assert "EC2" in lines[0] and "Hadoop" in lines[0]
+        assert any("0.850" in l and "-" in l for l in lines)  # missing cell

@@ -1,0 +1,131 @@
+"""Tests for Equations 1 and 2 and the task model."""
+
+import pytest
+
+from repro.core.metrics import (
+    average_time_per_file_per_core,
+    parallel_efficiency,
+    speedup,
+)
+from repro.core.task import RunResult, TaskRecord, TaskSpec
+
+
+class TestEquation1:
+    def test_perfect_scaling_is_one(self):
+        # 100s sequential, 10 cores, 10s parallel.
+        assert parallel_efficiency(100.0, 10.0, 10) == pytest.approx(1.0)
+
+    def test_half_efficiency(self):
+        assert parallel_efficiency(100.0, 20.0, 10) == pytest.approx(0.5)
+
+    def test_single_core_equals_speedup_one(self):
+        assert parallel_efficiency(50.0, 50.0, 1) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0.0, 2)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 1.0, 0)
+
+
+class TestEquation2:
+    def test_basic(self):
+        # 100 files on 16 cores in 600s -> 96 core-seconds per file.
+        assert average_time_per_file_per_core(600.0, 16, 100) == pytest.approx(
+            96.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_time_per_file_per_core(-1.0, 1, 1)
+        with pytest.raises(ValueError):
+            average_time_per_file_per_core(1.0, 0, 1)
+        with pytest.raises(ValueError):
+            average_time_per_file_per_core(1.0, 1, 0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestTaskSpec:
+    def test_valid(self):
+        spec = TaskSpec(
+            task_id="t",
+            input_key="in",
+            output_key="out",
+            input_size=10,
+            output_size=5,
+            work_units=1.0,
+        )
+        assert spec.task_id == "t"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("", "i", "o", 1, 1, 1.0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", "i", "o", -1, 1, 1.0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", "i", "o", 1, 1, -1.0)
+
+
+class TestRunResult:
+    def make_record(self, task_id, won=True, duplicate=False):
+        return TaskRecord(
+            task_id=task_id,
+            worker="w",
+            started_at=0.0,
+            finished_at=1.0,
+            compute_time=0.5,
+            was_duplicate=duplicate,
+            won=won,
+        )
+
+    def test_completed_prefers_explicit_set(self):
+        result = RunResult(
+            backend="x",
+            app_name="a",
+            n_tasks=2,
+            makespan_seconds=1.0,
+            records=[self.make_record("t1")],
+            completed={"t1", "t2"},
+        )
+        assert result.completed_task_ids == {"t1", "t2"}
+
+    def test_completed_falls_back_to_winners(self):
+        result = RunResult(
+            backend="x",
+            app_name="a",
+            n_tasks=2,
+            makespan_seconds=1.0,
+            records=[
+                self.make_record("t1"),
+                self.make_record("t2", won=False, duplicate=True),
+            ],
+        )
+        assert result.completed_task_ids == {"t1"}
+        assert result.duplicate_executions == 1
+
+    def test_total_compute_counts_losers(self):
+        result = RunResult(
+            backend="x",
+            app_name="a",
+            n_tasks=1,
+            makespan_seconds=1.0,
+            records=[
+                self.make_record("t1"),
+                self.make_record("t1", won=False),
+            ],
+        )
+        assert result.total_compute_seconds() == pytest.approx(1.0)
+
+    def test_record_elapsed(self):
+        record = self.make_record("t")
+        assert record.elapsed == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Tests for the dead-letter redrive policy (poison-task handling).
+
+The paper argues re-execution is harmless because tasks are idempotent —
+true for *worker* failures, but a task whose input crashes every worker
+would redeliver forever.  The SQS-style redrive policy bounds that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.queue import MessageQueue
+from repro.sim import Environment
+
+
+def make_queue(env, dlq=None, max_receives=None, **kwargs):
+    defaults = dict(
+        rng=np.random.default_rng(3),
+        visibility_timeout_s=5.0,
+        latency_sigma=0.0,
+        propagation_delay_s=0.0,
+        miss_probability=0.0,
+    )
+    defaults.update(kwargs)
+    return MessageQueue(
+        env,
+        "tasks",
+        max_receive_count=max_receives,
+        dead_letter_queue=dlq,
+        **defaults,
+    )
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_poison_message_moves_to_dlq():
+    env = Environment()
+    dlq = make_queue(env)
+    q = make_queue(env, dlq=dlq, max_receives=3)
+    drive(env, q.send("poison"))
+    # Receive without deleting (every worker "crashes") three times.
+    for expected_count in (1, 2, 3):
+        env.run(until=env.now + 6.0)  # let any timeout expire
+        msg = drive(env, q.receive())
+        assert msg is not None
+        assert msg.receive_count == expected_count
+    env.run(until=env.now + 6.0)
+    # Fourth receive: gone from the main queue...
+    assert drive(env, q.receive()) is None
+    assert q.approximate_size() == 0
+    assert q.stats.dead_lettered == 1
+    # ...and waiting in the DLQ with its receive history.
+    dead = drive(env, dlq.receive())
+    assert dead is not None
+    assert dead.body == "poison"
+    assert dead.receive_count == 4  # 3 in source + this DLQ receive
+
+
+def test_healthy_messages_unaffected_by_redrive():
+    env = Environment()
+    dlq = make_queue(env)
+    q = make_queue(env, dlq=dlq, max_receives=2)
+    for i in range(5):
+        drive(env, q.send(i))
+    done = set()
+    while True:
+        msg = drive(env, q.receive())
+        if msg is None:
+            break
+        done.add(msg.body)
+        drive(env, q.delete(msg))
+    assert done == set(range(5))
+    assert q.stats.dead_lettered == 0
+    assert dlq.approximate_size() == 0
+
+
+def test_dead_letter_without_dlq_just_drops():
+    """max_receive_count with no DLQ: the poison message is discarded
+    (still bounded — never redelivers forever)."""
+    env = Environment()
+    q = make_queue(env, max_receives=1)
+    drive(env, q.send("poison"))
+    assert drive(env, q.receive()) is not None
+    env.run(until=env.now + 6.0)
+    assert drive(env, q.receive()) is None
+    assert q.stats.dead_lettered == 1
+    assert q.approximate_size() == 0
+
+
+def test_redrive_counts_in_stats_not_deleted():
+    env = Environment()
+    q = make_queue(env, max_receives=1)
+    drive(env, q.send("p"))
+    drive(env, q.receive())
+    env.run(until=env.now + 6.0)
+    q.visible_now()  # force promotion
+    assert q.stats.dead_lettered == 1
+    assert q.stats.deleted == 0
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        make_queue(env, max_receives=0)
+
+
+def test_mixed_poison_and_healthy_workload():
+    """A workload with one poison task completes all healthy work and
+    quarantines the poison message."""
+    env = Environment()
+    dlq = make_queue(env)
+    q = make_queue(env, dlq=dlq, max_receives=1, visibility_timeout_s=2.0)
+    for i in range(8):
+        drive(env, q.send(("task", i)))
+    drive(env, q.send(("poison", 99)))
+    completed = set()
+
+    def worker(env):
+        while len(completed) < 8:
+            msg = yield env.process(q.receive())
+            if msg is None:
+                yield env.timeout(0.5)
+                continue
+            kind, value = msg.body
+            if kind == "poison":
+                continue  # crash: never delete
+            yield env.timeout(0.1)  # do the work
+            yield env.process(q.delete(msg))
+            completed.add(value)
+
+    workers = [env.process(worker(env)) for _ in range(3)]
+    env.run(until=env.all_of(workers))
+    assert completed == set(range(8))
+    env.run(until=env.now + 5.0)
+    assert q.visible_now() == 0
+    assert dlq.approximate_size() == 1

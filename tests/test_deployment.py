@@ -1,0 +1,74 @@
+"""Tests for the deployment-effort models (paper §2.4)."""
+
+import pytest
+
+from repro.cloud.deployment import (
+    AZURE_DEPLOYMENT,
+    EC2_DEPLOYMENT,
+    DeploymentModel,
+    DeploymentStep,
+    preparation_cost,
+)
+from repro.cloud.instance_types import AZURE_INSTANCE_TYPES, EC2_INSTANCE_TYPES
+
+
+class TestDeploymentModels:
+    def test_azure_needs_less_operator_attention(self):
+        """The paper: 'The deployment process was easier with Azure.'"""
+        for n in (1, 16, 128):
+            assert AZURE_DEPLOYMENT.manual_seconds(n) < EC2_DEPLOYMENT.manual_seconds(n)
+
+    def test_ec2_manual_effort_scales_with_fleet(self):
+        one = EC2_DEPLOYMENT.manual_seconds(1)
+        many = EC2_DEPLOYMENT.manual_seconds(16)
+        assert many > one  # per-instance ssh step
+
+    def test_azure_manual_effort_is_flat(self):
+        assert AZURE_DEPLOYMENT.manual_seconds(1) == AZURE_DEPLOYMENT.manual_seconds(128)
+
+    def test_azure_has_fewer_manual_steps(self):
+        assert (
+            AZURE_DEPLOYMENT.manual_step_count
+            < EC2_DEPLOYMENT.manual_step_count + 2
+        )
+
+    def test_total_time_includes_automated_steps(self):
+        assert EC2_DEPLOYMENT.total_seconds(4) > EC2_DEPLOYMENT.manual_seconds(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentStep("x", -1.0, manual=True)
+        with pytest.raises(ValueError):
+            EC2_DEPLOYMENT.total_seconds(0)
+        with pytest.raises(ValueError):
+            EC2_DEPLOYMENT.manual_seconds(0)
+
+
+class TestPreparationCost:
+    def test_ec2_preparation_bills_an_hour(self):
+        cost = preparation_cost(
+            EC2_DEPLOYMENT, EC2_INSTANCE_TYPES["HCXL"], n_instances=16
+        )
+        # Boot + worker start < 1h -> one started hour per instance.
+        assert cost == pytest.approx(16 * 0.68)
+
+    def test_azure_preparation_cost(self):
+        cost = preparation_cost(
+            AZURE_DEPLOYMENT, AZURE_INSTANCE_TYPES["Small"], n_instances=128
+        )
+        assert cost == pytest.approx(128 * 0.12)
+
+    def test_provider_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            preparation_cost(
+                AZURE_DEPLOYMENT, EC2_INSTANCE_TYPES["L"], n_instances=1
+            )
+
+    def test_zero_clock_steps_cost_nothing(self):
+        model = DeploymentModel(
+            provider="aws",
+            steps=(DeploymentStep("paperwork", 3600.0, manual=True),),
+        )
+        assert preparation_cost(
+            model, EC2_INSTANCE_TYPES["L"], n_instances=4
+        ) == 0.0

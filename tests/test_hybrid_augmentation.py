@@ -1,0 +1,126 @@
+"""Tests for hybrid cloud + on-premise augmentation (paper §2.1.3).
+
+"One interesting feature of the Classic Cloud framework is the ability
+to extend it to use the local machines and clusters side by side with
+the clouds. Although it might not be the best option due to the data
+being stored in the cloud, one can start workers in computers outside
+of the cloud to augment compute capacity."
+"""
+
+import pytest
+
+from repro.classiccloud import (
+    ClassicCloudConfig,
+    ClassicCloudFramework,
+    LocalAugmentation,
+)
+from repro.cloud.failures import FaultPlan
+from repro.core.application import get_application
+from repro.workloads.genome import cap3_task_specs
+from repro.workloads.pubchem import gtm_task_specs
+
+
+def config(augmentation=None, **kwargs):
+    defaults = dict(
+        provider="aws",
+        instance_type="HCXL",
+        n_instances=1,
+        workers_per_instance=8,
+        fault_plan=FaultPlan.none(),
+        consistency_window_s=0.0,
+        seed=9,
+        local_augmentation=augmentation,
+    )
+    defaults.update(kwargs)
+    return ClassicCloudConfig(**defaults)
+
+
+@pytest.fixture
+def cap3():
+    return get_application("cap3")
+
+
+class TestLocalAugmentationValidation:
+    def test_workers_bounded_by_cores(self):
+        with pytest.raises(ValueError):
+            LocalAugmentation(n_workers=0)
+        with pytest.raises(ValueError):
+            LocalAugmentation(n_workers=9)  # default machine has 8 cores
+
+    def test_wan_parameters_positive(self):
+        with pytest.raises(ValueError):
+            LocalAugmentation(n_workers=2, wan_bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            LocalAugmentation(n_workers=2, wan_latency_s=-1)
+
+
+class TestHybridExecution:
+    def test_augmentation_speeds_up_compute_bound_work(self, cap3):
+        tasks = cap3_task_specs(64, reads_per_file=200)
+        cloud_only = ClassicCloudFramework(config()).run(cap3, tasks)
+        hybrid = ClassicCloudFramework(
+            config(LocalAugmentation(n_workers=8))
+        ).run(cap3, tasks)
+        # 8 extra 2.33 GHz cores next to 8 HCXL cores: close to 2x.
+        speedup = cloud_only.makespan_seconds / hybrid.makespan_seconds
+        assert 1.5 < speedup < 2.2
+
+    def test_local_workers_actually_execute_tasks(self, cap3):
+        tasks = cap3_task_specs(64, reads_per_file=200)
+        result = ClassicCloudFramework(
+            config(LocalAugmentation(n_workers=8))
+        ).run(cap3, tasks)
+        local_records = [r for r in result.records if "local" in r.worker]
+        cloud_records = [r for r in result.records if "local" not in r.worker]
+        assert local_records and cloud_records
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+
+    def test_local_workers_pay_wan_transfer_costs(self, cap3):
+        """The paper's caveat: the data lives in the cloud, so local
+        workers' downloads are slower."""
+        tasks = cap3_task_specs(48, reads_per_file=458)  # ~220 KB inputs
+        result = ClassicCloudFramework(
+            config(
+                LocalAugmentation(
+                    n_workers=8, wan_bandwidth_mbps=5.0, wan_latency_s=0.1
+                )
+            )
+        ).run(cap3, tasks)
+        local = [r for r in result.records if "local" in r.worker]
+        cloud = [r for r in result.records if "local" not in r.worker]
+        assert local and cloud
+        avg_local_dl = sum(r.download_time for r in local) / len(local)
+        avg_cloud_dl = sum(r.download_time for r in cloud) / len(cloud)
+        assert avg_local_dl > 3.0 * avg_cloud_dl
+
+    def test_data_heavy_work_benefits_less(self):
+        """GTM's ~66 MB inputs over a 10 Mbps WAN: augmentation gains
+        little — matching 'it might not be the best option'."""
+        gtm = get_application("gtm")
+        tasks = gtm_task_specs(n_files=48)
+        cap3 = get_application("cap3")
+        cap3_tasks = cap3_task_specs(48, reads_per_file=458)
+        augmentation = LocalAugmentation(n_workers=8, wan_bandwidth_mbps=10.0)
+
+        def speedup(app, task_list):
+            base = ClassicCloudFramework(config()).run(app, task_list)
+            hybrid = ClassicCloudFramework(config(augmentation)).run(
+                app, task_list
+            )
+            return base.makespan_seconds / hybrid.makespan_seconds
+
+        cap3_speedup = speedup(cap3, cap3_tasks)
+        gtm_speedup = speedup(gtm, tasks)
+        assert gtm_speedup < cap3_speedup
+        assert gtm_speedup < 1.45  # WAN-bound: far from the ~2x core ratio
+
+    def test_billing_excludes_local_workers(self, cap3):
+        tasks = cap3_task_specs(32, reads_per_file=200)
+        cloud_only = ClassicCloudFramework(config()).run(cap3, tasks)
+        hybrid = ClassicCloudFramework(
+            config(LocalAugmentation(n_workers=4))
+        ).run(cap3, tasks)
+        # Same single HCXL instance billed; local machines are free.
+        assert (
+            hybrid.billing.compute_cost == cloud_only.billing.compute_cost
+        )

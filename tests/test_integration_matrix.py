@@ -1,0 +1,154 @@
+"""Integration: every application on every backend.
+
+The paper's framework promise is one contract (file in, file out,
+idempotent) over four platforms.  These tests run each app's workload on
+each simulated backend and the real local backend, checking completion,
+accounting invariants and cross-backend consistency.
+"""
+
+import pytest
+
+from repro.cloud.failures import FaultPlan
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.workloads.genome import cap3_task_specs
+from repro.workloads.protein import blast_task_specs
+from repro.workloads.pubchem import gtm_task_specs
+
+APPS = {
+    "cap3": lambda: cap3_task_specs(24, reads_per_file=200),
+    "blast": lambda: blast_task_specs(24, inhomogeneous_base=False),
+    "gtm": lambda: gtm_task_specs(24),
+}
+
+SIM_BACKENDS = {
+    "ec2": lambda: make_backend(
+        "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=3
+    ),
+    "azure": lambda: make_backend(
+        "azure", n_instances=8, fault_plan=FaultPlan.none(), seed=3
+    ),
+    "hadoop": lambda: make_backend(
+        "hadoop", cluster=get_cluster("cap3-baremetal").subset(2), seed=3
+    ),
+    "dryadlinq": lambda: make_backend(
+        "dryadlinq",
+        cluster=get_cluster("cap3-baremetal-windows").subset(2),
+        seed=3,
+    ),
+}
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+@pytest.mark.parametrize("backend_name", sorted(SIM_BACKENDS))
+def test_app_backend_matrix(app_name, backend_name):
+    app = get_application(app_name)
+    tasks = APPS[app_name]()
+    backend = SIM_BACKENDS[backend_name]()
+    result = backend.run(app, tasks)
+
+    # Completion: every task done, exactly the requested set.
+    assert result.completed_task_ids == {t.task_id for t in tasks}
+    assert result.n_tasks == len(tasks)
+    assert result.makespan_seconds > 0
+
+    # Accounting invariants.
+    winners = [r for r in result.records if r.won]
+    assert len(winners) == len(tasks)
+    for record in result.records:
+        assert record.finished_at >= record.started_at
+        assert record.compute_time > 0
+        assert record.attempt >= 1
+
+    # Cloud backends bill; cluster backends don't.
+    if backend_name in ("ec2", "azure"):
+        assert result.billing is not None
+        assert result.billing.compute_cost > 0
+    else:
+        assert result.billing is None
+
+
+@pytest.mark.parametrize("app_name", sorted(APPS))
+def test_sequential_estimate_bounds_parallel_time(app_name):
+    """T1 >= Tp >= T1 / P: speedup can't exceed the core count."""
+    app = get_application(app_name)
+    tasks = APPS[app_name]()
+    backend = SIM_BACKENDS["ec2"]()
+    result = backend.run(app, tasks)
+    t1 = backend.estimate_sequential_time(app, tasks)
+    assert result.makespan_seconds <= t1  # parallelism helps
+    assert result.makespan_seconds >= t1 / backend.total_cores * 0.99
+
+
+def test_same_workload_same_completion_across_backends():
+    """All four backends complete the identical task set."""
+    app = get_application("cap3")
+    tasks = cap3_task_specs(20, reads_per_file=200)
+    completions = {
+        name: factory().run(app, tasks).completed_task_ids
+        for name, factory in SIM_BACKENDS.items()
+    }
+    reference = completions["ec2"]
+    assert all(ids == reference for ids in completions.values())
+
+
+def test_local_backend_runs_real_cap3(tmp_path):
+    from repro.apps.executables import Cap3Executable
+    from repro.apps.fasta import read_fasta
+    from repro.core.api import run
+    from repro.workloads.genome import write_cap3_workload
+
+    app = get_application("cap3", executable_factory=Cap3Executable)
+    tasks = write_cap3_workload(tmp_path, n_files=4, reads_per_file=10)
+    result = run(app, tasks, backend="local", n_workers=2)
+    assert len(result.completed_task_ids) == 4
+    for task in tasks:
+        assert read_fasta(task.output_key)
+
+
+def test_faulty_environment_still_correct_everywhere():
+    """Crashes + queue artifacts + storage errors on EC2; task failures
+    on Hadoop; vertex failures on Dryad — everything still completes."""
+    from repro.cloud.failures import WorkerCrash
+
+    app = get_application("cap3")
+    tasks = cap3_task_specs(24, reads_per_file=200)
+
+    chaotic_ec2 = make_backend(
+        "ec2",
+        n_instances=2,
+        fault_plan=FaultPlan(
+            worker_crashes=[WorkerCrash(worker_index=3, at_time=40.0)],
+            message_duplicate_probability=0.05,
+            queue_miss_probability=0.05,
+            storage_error_rate=0.05,
+        ),
+        visibility_timeout_s=150.0,
+        seed=5,
+    )
+    assert chaotic_ec2.run(app, tasks).completed_task_ids == {
+        t.task_id for t in tasks
+    }
+
+    flaky_hadoop = make_backend(
+        "hadoop",
+        cluster=get_cluster("cap3-baremetal").subset(2),
+        task_failure_probability=0.2,
+        max_attempts=10,
+        seed=5,
+    )
+    assert flaky_hadoop.run(app, tasks).completed_task_ids == {
+        t.task_id for t in tasks
+    }
+
+    flaky_dryad = make_backend(
+        "dryadlinq",
+        cluster=get_cluster("cap3-baremetal-windows").subset(2),
+        vertex_failure_probability=0.2,
+        max_attempts=10,
+        seed=5,
+    )
+    assert flaky_dryad.run(app, tasks).completed_task_ids == {
+        t.task_id for t in tasks
+    }

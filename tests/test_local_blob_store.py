@@ -1,0 +1,152 @@
+"""Tests for the directory-backed blob store and store-mode execution."""
+
+import threading
+
+import pytest
+
+from repro.apps.executables import Cap3Executable
+from repro.apps.fasta import parse_fasta
+from repro.classiccloud import LocalClassicCloud
+from repro.classiccloud.localstore import LocalBlobStore
+from repro.core.task import TaskSpec
+from repro.workloads.genome import generate_read_records
+from repro.apps.fasta import write_fasta
+
+import io
+
+
+class TestLocalBlobStore:
+    def test_roundtrip_bytes(self, tmp_path):
+        store = LocalBlobStore(tmp_path / "blobs")
+        store.put_bytes("in/task.fa", b">r1\nACGT\n")
+        destination = store.get("in/task.fa", tmp_path / "dl" / "task.fa")
+        assert destination.read_bytes() == b">r1\nACGT\n"
+        assert store.stats == {"puts": 1, "gets": 1, "deletes": 0}
+
+    def test_put_file(self, tmp_path):
+        source = tmp_path / "src.txt"
+        source.write_text("hello")
+        store = LocalBlobStore(tmp_path / "blobs")
+        store.put("data/src.txt", source)
+        assert store.exists("data/src.txt")
+        assert store.size("data/src.txt") == 5
+
+    def test_get_missing_raises(self, tmp_path):
+        store = LocalBlobStore(tmp_path / "blobs")
+        with pytest.raises(FileNotFoundError):
+            store.get("nope", tmp_path / "out")
+
+    def test_delete_idempotent(self, tmp_path):
+        store = LocalBlobStore(tmp_path / "blobs")
+        store.put_bytes("k", b"x")
+        store.delete("k")
+        store.delete("k")
+        assert not store.exists("k")
+
+    def test_list_keys_with_prefix(self, tmp_path):
+        store = LocalBlobStore(tmp_path / "blobs")
+        for key in ("in/a", "in/b", "out/c"):
+            store.put_bytes(key, b"x")
+        assert store.list_keys("in/") == ["in/a", "in/b"]
+        assert store.list_keys() == ["in/a", "in/b", "out/c"]
+
+    def test_rejects_traversal_keys(self, tmp_path):
+        store = LocalBlobStore(tmp_path / "blobs")
+        with pytest.raises(ValueError):
+            store.put_bytes("../escape", b"x")
+        with pytest.raises(ValueError):
+            store.put_bytes("", b"x")
+
+    def test_concurrent_overwrites_never_partial(self, tmp_path):
+        """Atomic uploads: readers see a whole old or whole new object."""
+        store = LocalBlobStore(tmp_path / "blobs")
+        payload_a = b"A" * 100_000
+        payload_b = b"B" * 100_000
+        store.put_bytes("contested", payload_a)
+        stop = threading.Event()
+        bad: list[bytes] = []
+
+        def writer():
+            toggle = False
+            while not stop.is_set():
+                store.put_bytes("contested", payload_b if toggle else payload_a)
+                toggle = not toggle
+
+        def reader():
+            while not stop.is_set():
+                destination = tmp_path / "read" / "contested"
+                store.get("contested", destination)
+                data = destination.read_bytes()
+                if data not in (payload_a, payload_b):
+                    bad.append(data)
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert bad == []
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            LocalBlobStore(tmp_path, transfer_delay_s=-1)
+
+
+class TestStoreModeExecution:
+    def make_store_tasks(self, tmp_path, n_files=4):
+        store = LocalBlobStore(tmp_path / "cloud")
+        tasks = []
+        for i in range(n_files):
+            records = generate_read_records(
+                10, read_length=120, id_prefix=f"f{i}_r"
+            )
+            buffer = io.StringIO()
+            text = write_fasta(records)
+            del buffer
+            store.put_bytes(f"in/{i:03d}.fa", text.encode("ascii"))
+            tasks.append(
+                TaskSpec(
+                    task_id=f"task-{i:03d}",
+                    input_key=f"in/{i:03d}.fa",
+                    output_key=f"out/{i:03d}.fa",
+                    input_size=len(text),
+                    output_size=1024,
+                    work_units=10.0,
+                )
+            )
+        return store, tasks
+
+    def test_download_execute_upload_cycle(self, tmp_path):
+        store, tasks = self.make_store_tasks(tmp_path)
+        runner = LocalClassicCloud(n_workers=2, store=store)
+        result = runner.run(Cap3Executable(), tasks)
+        assert len(result.completed_task_ids) == 4
+        # Outputs landed in the store, not on arbitrary paths.
+        assert store.list_keys("out/") == [t.output_key for t in tasks]
+        for task in tasks:
+            local = store.get(task.output_key, tmp_path / "check" / task.task_id)
+            records = list(parse_fasta(io.StringIO(local.read_text())))
+            assert records
+        # Every task: one download of the input, one upload of the output.
+        assert store.stats["gets"] >= 4 + 4  # +4 for the checks above
+        assert store.stats["puts"] >= 4 + 4  # +4 initial staging
+
+    def test_store_mode_crash_recovery(self, tmp_path):
+        store, tasks = self.make_store_tasks(tmp_path, n_files=5)
+        runner = LocalClassicCloud(
+            n_workers=3,
+            store=store,
+            visibility_timeout_s=0.2,
+            crash_worker_on_receive={0: 1},
+            timeout_s=60.0,
+        )
+        result = runner.run(Cap3Executable(), tasks)
+        assert len(result.completed_task_ids) == 5
+        assert len(store.list_keys("out/")) == 5

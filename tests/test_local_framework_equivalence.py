@@ -1,0 +1,69 @@
+"""The three real runtimes produce byte-identical outputs.
+
+Classic Cloud (threads + visibility-timeout queue), MiniHadoop (thread
+pool over the filename input format) and LocalDryadLINQ (static
+partitions) all schedule the same deterministic executables — so for the
+same inputs their outputs must match exactly, whatever the scheduling.
+"""
+
+import shutil
+
+import pytest
+
+from repro.apps.executables import Cap3Executable
+from repro.classiccloud import LocalClassicCloud
+from repro.core.task import TaskSpec
+from repro.dryad import LocalDryadLinq
+from repro.hadoop import MiniHadoop
+from repro.workloads.genome import write_cap3_workload
+
+
+@pytest.fixture
+def shared_inputs(tmp_path):
+    """One input set, copied per runtime so paths don't collide."""
+    base = write_cap3_workload(
+        tmp_path / "base", n_files=6, reads_per_file=12, replicated=False,
+        seed=31,
+    )
+    return tmp_path, base
+
+
+def retarget(tasks, out_dir):
+    return [
+        TaskSpec(
+            task_id=t.task_id,
+            input_key=t.input_key,
+            output_key=str(out_dir / f"{i:03d}.fa"),
+            input_size=t.input_size,
+            output_size=t.output_size,
+            work_units=t.work_units,
+        )
+        for i, t in enumerate(tasks)
+    ]
+
+
+def test_three_runtimes_identical_outputs(shared_inputs):
+    tmp_path, base_tasks = shared_inputs
+    executable = Cap3Executable()
+
+    cc_tasks = retarget(base_tasks, tmp_path / "cc_out")
+    (tmp_path / "cc_out").mkdir()
+    LocalClassicCloud(n_workers=3).run(executable, cc_tasks)
+
+    dryad_tasks = retarget(base_tasks, tmp_path / "dryad_out")
+    LocalDryadLinq(n_nodes=2, workers_per_node=2).run(executable, dryad_tasks)
+
+    # MiniHadoop maps a directory; point it at the shared inputs.
+    input_dir = tmp_path / "base" / "in"
+    hadoop_result = MiniHadoop(n_slots=3).run_job(
+        executable, input_dir, tmp_path / "hadoop_out", "*.fa"
+    )
+    assert hadoop_result.n_tasks == 6
+
+    for i, base in enumerate(base_tasks):
+        cc_bytes = open(cc_tasks[i].output_key, "rb").read()
+        dryad_bytes = open(dryad_tasks[i].output_key, "rb").read()
+        input_name = base.input_key.rsplit("/", 1)[-1]
+        hadoop_bytes = open(tmp_path / "hadoop_out" / input_name, "rb").read()
+        assert cc_bytes == dryad_bytes == hadoop_bytes
+        assert cc_bytes  # non-empty

@@ -1,0 +1,95 @@
+"""Property-based tests for the performance-model monotonicity laws.
+
+These are the laws the figure reproductions implicitly rely on: if any
+broke, a calibration tweak could silently invert a paper finding.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.perfmodels import APP_PERF_MODELS, task_runtime_seconds
+from repro.cloud.instance_types import MachineModel
+
+machines = st.builds(
+    MachineModel,
+    cores=st.integers(min_value=1, max_value=32),
+    clock_ghz=st.floats(min_value=0.5, max_value=4.0),
+    memory_gb=st.floats(min_value=1.0, max_value=128.0),
+    mem_bandwidth_gbps=st.floats(min_value=1.0, max_value=50.0),
+    os=st.sampled_from(["linux", "windows"]),
+)
+
+app_names = st.sampled_from(sorted(APP_PERF_MODELS))
+work = st.floats(min_value=0.1, max_value=10_000.0)
+
+
+@given(app_names, work, machines)
+def test_runtime_positive(app_name, units, machine):
+    model = APP_PERF_MODELS[app_name]
+    assert task_runtime_seconds(model, units, machine) > 0
+
+
+@given(app_names, work, machines)
+def test_runtime_linear_in_work(app_name, units, machine):
+    model = APP_PERF_MODELS[app_name]
+    one = task_runtime_seconds(model, units, machine)
+    double = task_runtime_seconds(model, 2 * units, machine)
+    assert abs(double - 2 * one) < 1e-6 * double
+
+
+@given(app_names, work, machines, st.floats(min_value=1.05, max_value=3.0))
+def test_faster_clock_never_slower(app_name, units, machine, factor):
+    model = APP_PERF_MODELS[app_name]
+    base = task_runtime_seconds(model, units, machine)
+    faster = task_runtime_seconds(
+        model, units, machine, clock_ghz=machine.clock_ghz * factor
+    )
+    assert faster <= base + 1e-12
+
+
+@given(app_names, work, machines, st.integers(min_value=2, max_value=32))
+def test_more_concurrent_workers_never_faster(app_name, units, machine, crowd):
+    """Sharing bandwidth and memory can only hurt a single task."""
+    model = APP_PERF_MODELS[app_name]
+    alone = task_runtime_seconds(model, units, machine, concurrent_workers=1)
+    crowded = task_runtime_seconds(
+        model, units, machine, concurrent_workers=crowd
+    )
+    assert crowded >= alone - 1e-12
+
+
+@given(work, machines, st.integers(min_value=2, max_value=8))
+def test_threads_never_hurt_supported_apps(units, machine, threads):
+    model = APP_PERF_MODELS["blast"]
+    single = task_runtime_seconds(model, units, machine, threads=1)
+    multi = task_runtime_seconds(model, units, machine, threads=threads)
+    assert multi <= single + 1e-12
+    # But sublinear: never better than perfect scaling.
+    assert multi >= single / threads - 1e-9
+
+
+@given(app_names, machines, st.integers(min_value=1, max_value=32))
+def test_paging_penalty_at_least_one(app_name, machine, workers):
+    model = APP_PERF_MODELS[app_name]
+    assert model.paging_penalty(machine, workers) >= 1.0
+
+
+@given(machines, st.integers(min_value=1, max_value=16))
+@settings(max_examples=50)
+def test_more_memory_never_increases_blast_runtime(machine, workers):
+    """Growing instance memory (all else equal) can only help BLAST."""
+    model = APP_PERF_MODELS["blast"]
+    small = task_runtime_seconds(
+        model, 100, machine, concurrent_workers=min(workers, machine.cores)
+    )
+    bigger = MachineModel(
+        cores=machine.cores,
+        clock_ghz=machine.clock_ghz,
+        memory_gb=machine.memory_gb * 4,
+        mem_bandwidth_gbps=machine.mem_bandwidth_gbps,
+        os=machine.os,
+    )
+    large = task_runtime_seconds(
+        model, 100, bigger, concurrent_workers=min(workers, machine.cores)
+    )
+    assert large <= small + 1e-9

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.cap3 import Cap3Params, assemble, trim_read
+from repro.apps.fasta import FastaRecord, parse_fasta, write_fasta
+from repro.apps.gtm import gtm_interpolate, gtm_responsibilities, train_gtm
+from repro.cloud.billing import CostMeter
+from repro.cloud.pricing import AWS_PRICES
+from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
+from repro.dryad.partitions import partition_tasks
+from repro.core.task import TaskSpec
+
+import io
+
+
+# -- FASTA round-trip ---------------------------------------------------------
+
+seq_alphabet = st.sampled_from("ACGTN")
+dna = st.text(alphabet=seq_alphabet, min_size=0, max_size=300)
+record_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(st.lists(st.tuples(record_ids, dna), min_size=0, max_size=20))
+def test_fasta_roundtrip_preserves_records(pairs):
+    # De-duplicate ids (FASTA allows duplicates; easier to compare unique).
+    records = [FastaRecord(id=f"r{i}_{rid}", seq=seq) for i, (rid, seq) in enumerate(pairs)]
+    text = write_fasta(records)
+    back = list(parse_fasta(io.StringIO(text)))
+    assert [(r.id, r.seq) for r in back] == [(r.id, r.seq) for r in records]
+
+
+# -- FASTQ round-trip -----------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(alphabet="ACGTN", min_size=1, max_size=120),
+            st.integers(min_value=0, max_value=93),
+        ),
+        min_size=0,
+        max_size=10,
+    )
+)
+def test_fastq_roundtrip(reads):
+    from repro.apps.fastq import FastqRecord, parse_fastq, write_fastq
+
+    records = [
+        FastqRecord(
+            id=f"r{i}", seq=seq, qualities=tuple([quality] * len(seq))
+        )
+        for i, (seq, quality) in enumerate(reads)
+    ]
+    text = write_fastq(records)
+    back = list(parse_fastq(io.StringIO(text)))
+    assert back == records
+
+
+# -- trimming -------------------------------------------------------------------
+
+
+@given(dna.filter(lambda s: len(s) > 0))
+def test_trim_output_is_clean_or_none(seq):
+    record = FastaRecord(id="x", seq=seq)
+    trimmed = trim_read(record, min_length=10)
+    if trimmed is not None:
+        assert len(trimmed.seq) >= 10
+        assert not trimmed.seq.startswith("N")
+        assert not trimmed.seq.endswith("N")
+        assert trimmed.seq == trimmed.seq.upper()
+        assert set(trimmed.seq) <= set("ACGTN")
+
+
+# -- assembly invariants --------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.text(alphabet=st.sampled_from("ACGT"), min_size=50, max_size=120),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_assembly_conserves_reads(seqs):
+    """Every surviving read is either placed in a contig or a singleton,
+    never both, never lost."""
+    records = [FastaRecord(id=f"r{i}", seq=s) for i, s in enumerate(seqs)]
+    result = assemble(records, Cap3Params(min_read_length=40))
+    placed = [rid for c in result.contigs for rid, _ in c.reads]
+    singles = [r.id for r in result.singletons]
+    assert len(placed) == len(set(placed))  # no double placement
+    assert set(placed).isdisjoint(singles)
+    survivors = result.stats["reads_after_trim"]
+    assert len(placed) + len(singles) == survivors
+    # Each contig has at least 2 reads.
+    for contig in result.contigs:
+        assert len(contig.reads) >= 2
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=20, deadline=None)
+def test_consensus_of_identical_reads_is_the_read(n_copies, seed):
+    rng = np.random.default_rng(seed)
+    seq = "".join("ACGT"[i] for i in rng.integers(0, 4, size=120))
+    records = [FastaRecord(id=f"c{i}", seq=seq) for i in range(n_copies)]
+    result = assemble(records)
+    # Identical reads fully contain each other: one contig, consensus == read.
+    assert len(result.contigs) == 1
+    assert result.contigs[0].seq == seq
+
+
+# -- GTM invariants ---------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=10, max_value=40),
+    st.integers(min_value=3, max_value=8),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_gtm_responsibilities_always_normalized(n_points, dim, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_points, dim))
+    model = train_gtm(data, latent_per_dim=4, rbf_per_dim=2, iterations=3)
+    resp = gtm_responsibilities(model, data)
+    np.testing.assert_allclose(resp.sum(axis=1), 1.0, rtol=1e-9)
+    assert (resp >= 0).all()
+    latent = gtm_interpolate(model, data)
+    assert np.abs(latent).max() <= 1.0 + 1e-9
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=1e-3, max_value=1e6),
+    st.floats(min_value=1e-3, max_value=1e6),
+    st.integers(min_value=1, max_value=4096),
+)
+def test_efficiency_positive_and_consistent_with_speedup(t1, tp, cores):
+    eff = parallel_efficiency(t1, tp, cores)
+    assert eff > 0
+    # Efficiency * cores == speedup (up to float rounding).
+    assert abs(eff * cores - t1 / tp) <= 1e-9 * (t1 / tp)
+
+
+@given(
+    st.floats(min_value=0, max_value=1e6),
+    st.integers(min_value=1, max_value=1024),
+    st.integers(min_value=1, max_value=100_000),
+)
+def test_eq2_scales_linearly_in_cores(tp, cores, n):
+    single = average_time_per_file_per_core(tp, 1, n)
+    multi = average_time_per_file_per_core(tp, cores, n)
+    assert abs(multi - single * cores) < 1e-6 * max(1.0, multi)
+
+
+# -- partitioning ----------------------------------------------------------------
+
+
+def _specs(n):
+    return [
+        TaskSpec(
+            task_id=f"t{i}",
+            input_key=f"i{i}",
+            output_key=f"o{i}",
+            input_size=1,
+            output_size=1,
+            work_units=1.0,
+        )
+        for i in range(n)
+    ]
+
+
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=32))
+def test_partitioning_is_exact_and_balanced_by_count(n_tasks, n_parts):
+    ps = partition_tasks(_specs(n_tasks), n_parts)
+    sizes = ps.sizes()
+    assert sum(sizes) == n_tasks
+    assert max(sizes) - min(sizes) <= 1
+    flattened = [t.task_id for p in ps.partitions for t in p]
+    assert flattened == [f"t{i}" for i in range(n_tasks)]
+
+
+# -- billing conservation ------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100_000.0),
+            st.floats(min_value=0.01, max_value=5.0),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_billing_full_hours_never_below_amortized(usages):
+    meter = CostMeter(AWS_PRICES)
+    for seconds, rate in usages:
+        meter.record_instance_usage("X", seconds, rate)
+    report = meter.report()
+    assert report.compute_cost >= report.amortized_compute_cost - 1e-9
+    assert report.total_cost >= report.total_amortized_cost - 1e-9
+    # Never bill more than one extra hour per instance record.
+    extra = report.compute_cost - report.amortized_compute_cost
+    assert extra <= sum(rate for _, rate in usages) + 1e-9

@@ -1,0 +1,79 @@
+"""Paper-scale integration runs (the largest configurations reported).
+
+These exercise the simulator at the full fleet sizes of the paper's
+evaluation — 128 cores, hundreds-to-thousands of tasks — and pin the
+headline numbers EXPERIMENTS.md reports.
+"""
+
+import pytest
+
+from repro.cloud.failures import FaultPlan
+from repro.cluster import get_cluster
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.metrics import parallel_efficiency
+from repro.workloads.genome import cap3_task_specs
+from repro.workloads.protein import blast_task_specs
+from repro.workloads.pubchem import gtm_task_specs
+
+
+def quiet(backend, **kwargs):
+    if backend in ("ec2", "azure"):
+        kwargs.setdefault("fault_plan", FaultPlan.none())
+    kwargs.setdefault("seed", 21)
+    return make_backend(backend, **kwargs)
+
+
+class TestPaperScaleCap3:
+    def test_4096_files_on_16_hcxl(self):
+        """The Table 4 workload: just under one billable hour."""
+        app = get_application("cap3")
+        tasks = cap3_task_specs(4096, reads_per_file=458)
+        backend = quiet("ec2", n_instances=16, perf_jitter=0.0)
+        result = backend.run(app, tasks)
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+        assert 3000 < result.makespan_seconds <= 3600
+        assert result.billing.compute_cost == pytest.approx(10.88)
+
+    def test_full_azure_fleet(self):
+        """128 Azure Small instances — the paper's largest Azure run."""
+        app = get_application("cap3")
+        tasks = cap3_task_specs(512, reads_per_file=458)
+        backend = quiet("azure", n_instances=128)
+        result = backend.run(app, tasks)
+        assert len(result.completed_task_ids) == 512
+        t1 = backend.estimate_sequential_time(app, tasks)
+        eff = parallel_efficiency(t1, result.makespan_seconds, 128)
+        assert eff > 0.85
+
+
+class TestPaperScaleBlast:
+    def test_768_query_files_on_128_cores(self):
+        """The paper's largest BLAST point (6x replication of the base
+        set); amortized cost ~ $10 on EC2 per Section 5.2."""
+        app = get_application("blast")
+        tasks = blast_task_specs(768, seed=5)
+        backend = quiet("ec2", n_instances=16)
+        result = backend.run(app, tasks)
+        assert len(result.completed_task_ids) == 768
+        # "The amortized cost to process 768*100 queries ... was ~10$
+        # using EC2" — ours lands in the same ballpark.
+        assert 5.0 < result.billing.total_amortized_cost < 20.0
+
+
+class TestPaperScaleGtm:
+    def test_264_files_across_all_platforms(self):
+        app = get_application("gtm")
+        tasks = gtm_task_specs(264)
+        backends = {
+            "azure": quiet("azure", n_instances=64),
+            "hadoop": make_backend(
+                "hadoop", cluster=get_cluster("gtm-hadoop"), seed=21
+            ),
+            "dryadlinq": make_backend(
+                "dryadlinq", cluster=get_cluster("gtm-dryad"), seed=21
+            ),
+        }
+        for name, backend in backends.items():
+            result = backend.run(app, tasks)
+            assert len(result.completed_task_ids) == 264, name

@@ -1,0 +1,209 @@
+"""Unit tests for Resource / Store / PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+def test_resource_capacity_limits_concurrency():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    active = []
+    peak = []
+
+    def worker(env, tag):
+        req = res.request()
+        yield req
+        active.append(tag)
+        peak.append(len(active))
+        yield env.timeout(10.0)
+        active.remove(tag)
+        res.release(req)
+
+    for tag in range(5):
+        env.process(worker(env, tag))
+    env.run()
+    assert max(peak) == 2
+    assert env.now == 30.0  # 5 jobs of 10s through 2 slots: ceil(5/2)*10
+
+
+def test_resource_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def worker(env, tag, arrival):
+        yield env.timeout(arrival)
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield env.timeout(5.0)
+        res.release(req)
+
+    env.process(worker(env, "first", 0.0))
+    env.process(worker(env, "second", 1.0))
+    env.process(worker(env, "third", 2.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_release_pending_request_cancels_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    assert held.triggered
+    pending = res.request()
+    assert not pending.triggered
+    res.release(pending)  # cancel before grant
+    res.release(held)
+    assert res.count == 0
+
+
+def test_resource_release_unknown_request_is_error():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    stranger = env.event()
+    with pytest.raises(SimulationError):
+        res.release(stranger)
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_and_queued():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queued == 1
+    res.release(r1)
+    assert res.count == 1  # queued request was granted
+    assert res.queued == 0
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        got = []
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+        return got
+
+    env.process(producer(env))
+    assert env.run(until=env.process(consumer(env))) == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(7.0)
+        yield store.put("late")
+
+    env.process(producer(env))
+    assert env.run(until=env.process(consumer(env))) == (7.0, "late")
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    timeline = []
+
+    def producer(env):
+        yield store.put("a")
+        timeline.append(("a", env.now))
+        yield store.put("b")  # blocks until "a" is taken
+        timeline.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert timeline == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_cancel_get():
+    env = Environment()
+    store = Store(env)
+    g = store.get()
+    store.cancel_get(g)
+    store.put("x")
+    env.run()
+    assert not g.triggered
+    assert len(store) == 1
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_priority_store_pops_smallest():
+    env = Environment()
+    store = PriorityStore(env)
+    for value in (5, 1, 3):
+        store.put((value, f"task{value}"))
+
+    def consumer(env):
+        got = []
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item[0])
+        return got
+
+    assert env.run(until=env.process(consumer(env))) == [1, 3, 5]
+
+
+def test_priority_store_blocks_when_empty():
+    env = Environment()
+    store = PriorityStore(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(2.0)
+        yield store.put((1, "only"))
+
+    env.process(producer(env))
+    assert env.run(until=env.process(consumer(env))) == (2.0, (1, "only"))
+
+
+def test_priority_store_items_sorted_view():
+    env = Environment()
+    store = PriorityStore(env)
+    for value in (9, 2, 7):
+        store.put((value,))
+    assert store.items == [(2,), (7,), (9,)]
+    assert len(store) == 3

@@ -1,0 +1,188 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fasta import read_fasta
+from repro.workloads.genome import (
+    cap3_task_specs,
+    generate_genome,
+    generate_read_records,
+    write_cap3_workload,
+)
+from repro.workloads.protein import (
+    blast_task_specs,
+    generate_protein_database,
+    generate_query_records,
+    write_blast_workload,
+)
+from repro.workloads.pubchem import (
+    PUBCHEM_DIMENSIONS,
+    generate_pubchem_points,
+    gtm_task_specs,
+    write_gtm_workload,
+)
+
+
+class TestGenomeWorkloads:
+    def test_generate_genome(self):
+        genome = generate_genome(1000, np.random.default_rng(0))
+        assert len(genome) == 1000
+        assert set(genome) <= set("ACGT")
+
+    def test_generate_genome_validation(self):
+        with pytest.raises(ValueError):
+            generate_genome(0, np.random.default_rng(0))
+
+    def test_read_records_shape(self):
+        reads = generate_read_records(50, read_length=100)
+        assert len(reads) == 50
+        assert all(len(r.seq) == 100 for r in reads)
+        assert len({r.id for r in reads}) == 50
+
+    def test_reads_cover_genome_with_overlaps(self):
+        """Coverage 8 means reads overlap heavily — assemblable."""
+        reads = generate_read_records(
+            80, read_length=100, coverage=8.0, rng=np.random.default_rng(1)
+        )
+        from repro.apps.cap3 import assemble
+
+        result = assemble(reads)
+        # Dense shotgun coverage must produce few contigs, not 80 singletons.
+        assert result.stats["contigs"] >= 1
+        assert result.stats["singletons"] < 10
+
+    def test_poor_ends_present(self):
+        reads = generate_read_records(
+            100, poor_end_fraction=1.0, rng=np.random.default_rng(2)
+        )
+        assert all(r.seq[-1].islower() for r in reads)
+
+    def test_cap3_specs_homogeneous(self):
+        specs = cap3_task_specs(10, reads_per_file=458)
+        assert len(specs) == 10
+        assert all(s.work_units == 458.0 for s in specs)
+        assert all(s.input_size > 100_000 for s in specs)  # hundreds of KB
+        assert len({s.task_id for s in specs}) == 10
+
+    def test_cap3_specs_inhomogeneous_varies(self):
+        specs = cap3_task_specs(50, reads_per_file=458, inhomogeneous=True)
+        works = {s.work_units for s in specs}
+        assert len(works) > 10
+        mean = sum(s.work_units for s in specs) / len(specs)
+        assert 0.6 * 458 < mean < 1.6 * 458
+
+    def test_write_cap3_workload_real_files(self, tmp_path):
+        specs = write_cap3_workload(tmp_path, 3, reads_per_file=8)
+        for spec in specs:
+            records = read_fasta(spec.input_key)
+            assert len(records) == 8
+            assert spec.input_size > 0
+
+    def test_replicated_files_identical(self, tmp_path):
+        specs = write_cap3_workload(tmp_path, 3, reads_per_file=8, replicated=True)
+        contents = {open(s.input_key).read() for s in specs}
+        assert len(contents) == 1
+
+    def test_unreplicated_files_differ(self, tmp_path):
+        specs = write_cap3_workload(
+            tmp_path, 3, reads_per_file=8, replicated=False
+        )
+        contents = {open(s.input_key).read() for s in specs}
+        assert len(contents) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cap3_task_specs(0)
+        with pytest.raises(ValueError):
+            generate_read_records(0)
+
+
+class TestProteinWorkloads:
+    def test_database_generation(self):
+        db = generate_protein_database(20, seed=1)
+        assert len(db) == 20
+        assert db.total_residues > 20 * 50
+
+    def test_query_records_mix(self):
+        db = generate_protein_database(10, seed=2)
+        queries = generate_query_records(db, 40, homolog_fraction=0.5, seed=3)
+        homologs = [q for q in queries if q.description.startswith("homolog")]
+        decoys = [q for q in queries if q.description == "decoy"]
+        assert len(homologs) + len(decoys) == 40
+        assert 8 <= len(homologs) <= 32  # ~half, binomial spread
+
+    def test_planted_homologs_findable(self):
+        from repro.apps.blast import blast_search
+
+        db = generate_protein_database(15, seed=4)
+        queries = generate_query_records(
+            db, 20, homolog_fraction=1.0, identity=0.85, seed=5
+        )
+        results = blast_search(queries, db)
+        found = sum(1 for hits in results.values() if hits)
+        assert found >= 15  # most homologs recovered
+
+    def test_blast_specs_match_paper_sizes(self):
+        specs = blast_task_specs(64)
+        assert all(7_000 <= s.input_size < 8_193 for s in specs)
+        assert all(s.work_units > 0 for s in specs)
+
+    def test_replicated_base_set_work_profile(self):
+        """Files beyond the 128-file base replicate its work profile."""
+        specs = blast_task_specs(256, base_set_size=128)
+        works = [s.work_units for s in specs]
+        assert works[0] == works[128]
+        assert works[5] == works[133]
+
+    def test_homogeneous_option(self):
+        specs = blast_task_specs(16, inhomogeneous_base=False)
+        assert len({s.work_units for s in specs}) == 1
+
+    def test_write_blast_workload(self, tmp_path):
+        specs, db = write_blast_workload(
+            tmp_path, 2, queries_per_file=4, db_sequences=10
+        )
+        assert len(specs) == 2
+        assert len(db) == 10
+        for spec in specs:
+            assert len(read_fasta(spec.input_key)) == 4
+
+
+class TestPubchemWorkloads:
+    def test_points_shape_and_dimensions(self):
+        points = generate_pubchem_points(500, seed=1)
+        assert points.shape == (500, PUBCHEM_DIMENSIONS)
+
+    def test_points_are_clustered(self):
+        points = generate_pubchem_points(
+            1000, n_clusters=4, cluster_scale=10.0, noise_scale=0.5, seed=2
+        )
+        # Clustered data has much higher variance than its noise floor.
+        assert points.std() > 1.5
+
+    def test_gtm_specs_match_paper_setup(self):
+        specs = gtm_task_specs()
+        assert len(specs) == 264
+        assert all(s.work_units == 100.0 for s in specs)  # 100k points
+        total_points = sum(s.work_units for s in specs) * 1000
+        assert total_points == pytest.approx(26.4e6)  # ~26M points
+        # Output orders of magnitude smaller than input.
+        assert all(s.output_size < s.input_size / 20 for s in specs)
+
+    def test_write_gtm_workload(self, tmp_path):
+        specs, sample = write_gtm_workload(
+            tmp_path, 2, points_per_file=50, dimensions=6, sample_points=40
+        )
+        assert sample.shape == (40, 6)
+        for spec in specs:
+            with np.load(spec.input_key) as archive:
+                assert archive["points"].shape == (50, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_pubchem_points(0)
+        with pytest.raises(ValueError):
+            generate_pubchem_points(10, n_clusters=0)
+        with pytest.raises(ValueError):
+            gtm_task_specs(n_files=0)
