@@ -30,7 +30,7 @@ from repro.cloud.queue import MessageQueue, StaleReceiptError
 from repro.cloud.storage import BlobNotFound, BlobStore
 from repro.core.application import Application
 from repro.core.task import RunResult, TaskRecord, TaskSpec
-from repro.sim.engine import Environment, Interrupt
+from repro.sim.engine import Environment, Interrupt, make_environment
 from repro.sim.rng import RngRegistry
 
 __all__ = ["ClassicCloudConfig", "ClassicCloudFramework", "LocalAugmentation"]
@@ -97,6 +97,10 @@ class ClassicCloudConfig:
     # without completion are quarantined instead of redelivered forever.
     # None disables the policy (the paper's unbounded behaviour).
     max_task_attempts: int | None = None
+    # Run on an instrumented event loop (repro.lint.sanitizer) that
+    # records an event trace and checks kernel invariants.  False still
+    # honours the REPRO_SANITIZE environment variable.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.n_instances < 1 or self.workers_per_instance < 1:
@@ -137,6 +141,9 @@ class ClassicCloudFramework:
 
     def __init__(self, config: ClassicCloudConfig):
         self.config = config
+        #: The event loop of the most recent run; under the sanitizer
+        #: this exposes the recorded trace and the post-run report.
+        self.last_environment: Environment | None = None
 
     # -- public API --------------------------------------------------------
     def run(self, app: Application, tasks: list[TaskSpec]) -> RunResult:
@@ -144,6 +151,7 @@ class ClassicCloudFramework:
         if not tasks:
             raise ValueError("no tasks to run")
         run = _SimRun(self.config, app, tasks)
+        self.last_environment = run.env
         return run.execute()
 
     def estimate_sequential_time(
@@ -178,7 +186,7 @@ class _SimRun:
         self.config = config
         self.app = app
         self.tasks = tasks
-        self.env = Environment()
+        self.env = make_environment(sanitize=True if config.sanitize else None)
         self.rng = RngRegistry(config.seed)
         prices = AWS_PRICES if config.provider == "aws" else AZURE_PRICES
         self.meter = CostMeter(prices)

@@ -14,6 +14,11 @@ worker loop is substrate-independent.
 
 from __future__ import annotations
 
+# This module is the *real* threaded runtime: it executes actual
+# programs on actual files, so measuring wall-clock time is its job.
+# The simulated counterpart (framework.py) reads Environment.now only.
+# repro: noqa-file[RPR001]: real execution legitimately reads the wall clock
+
 import itertools
 import os
 import tempfile

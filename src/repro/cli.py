@@ -7,12 +7,15 @@ Commands:
 * ``run`` — run one application workload on one backend and print the
   paper's metrics (Eq. 1 efficiency, Eq. 2 per-file time, cost);
 * ``cost`` — the Table 4 style cloud-vs-cluster comparison for an
-  arbitrary file count.
+  arbitrary file count;
+* ``lint`` — the determinism linter over the simulation sources
+  (:mod:`repro.lint`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.cloud.failures import FaultPlan
@@ -71,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--inhomogeneous", action="store_true",
         help="inhomogeneous task sizes (Cap3/BLAST)",
     )
+    run_parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run on the instrumented event loop and print the "
+        "sanitizer report (sets REPRO_SANITIZE=1)",
+    )
 
     cost_parser = sub.add_parser(
         "cost", help="Table 4-style cost comparison for a Cap3 workload"
@@ -108,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
              "per file (gtm); app default if omitted",
     )
     gendata_parser.add_argument("--seed", type=int, default=0)
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -165,6 +177,8 @@ def _cmd_catalog(out) -> int:
 
 
 def _cmd_run(args, out) -> int:
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
     app = get_application(args.app)
     tasks = _tasks_for(args.app, args.files, args.inhomogeneous, args.seed)
     kwargs: dict = {"seed": args.seed}
@@ -210,6 +224,14 @@ def _cmd_run(args, out) -> int:
         )
     print(format_table(["metric", "value"], rows,
                        title=f"{args.app} on {args.backend}"), file=out)
+    if args.sanitize:
+        env = getattr(
+            getattr(backend, "_framework", None), "last_environment", None
+        )
+        if env is not None and hasattr(env, "sanitizer_report"):
+            print(file=out)
+            print("sanitizer report:", file=out)
+            print(env.sanitizer_report().summary(), file=out)
     return 0
 
 
@@ -350,4 +372,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "gendata":
         return _cmd_gendata(args, out)
+    if args.command == "lint":
+        from repro.lint.cli import cmd_lint
+
+        return cmd_lint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

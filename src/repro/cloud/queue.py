@@ -123,6 +123,11 @@ class MessageQueue:
         self._seq = itertools.count()
         self._visible: list[int] = []
         self._inflight: dict[int, int] = {}  # message_id -> current receipt
+        # Sanitizer hook: a SanitizedEnvironment enrols the queue in
+        # stale-receipt leak detection (repro.lint.sanitizer).
+        register = getattr(env, "register_queue", None)
+        if register is not None:
+            register(self)
 
     # -- internals --------------------------------------------------------------
     def _latency(self) -> float:

@@ -1,0 +1,43 @@
+"""Determinism tooling for the reproduction: static lint + runtime sanitizer.
+
+Two halves, both enforcing the DES kernel's contract (see
+``repro.sim.engine``: events at the same simulated time fire in
+scheduling order; no wall-clock or global-RNG access in simulation
+code):
+
+* **static pass** — an AST-based checker (stdlib ``ast`` only) with a
+  small rule framework.  Rules carry codes ``RPR001``…; violations can
+  be suppressed per line with ``# repro: noqa[RPR001]`` or per file
+  with ``# repro: noqa-file[RPR001]: reason``.  Run it with
+  ``python -m repro lint src/repro``.
+* **runtime sanitizer** — :class:`SanitizedEnvironment`, an opt-in
+  instrumented event loop (``REPRO_SANITIZE=1`` or construct it
+  directly) that records a deterministic event trace and detects
+  double-triggered events, same-timestamp ordering ties, processes that
+  never consume their pending event, and leaked in-flight queue
+  messages.
+"""
+
+from repro.lint.checker import LintResult, lint_file, lint_paths
+from repro.lint.report import format_human, format_json
+from repro.lint.rules import RULE_REGISTRY, Rule, Violation, all_rules
+from repro.lint.sanitizer import (
+    SanitizedEnvironment,
+    SanitizerError,
+    SanitizerReport,
+)
+
+__all__ = [
+    "LintResult",
+    "RULE_REGISTRY",
+    "Rule",
+    "SanitizedEnvironment",
+    "SanitizerError",
+    "SanitizerReport",
+    "Violation",
+    "all_rules",
+    "format_human",
+    "format_json",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,143 @@
+"""File runner: parse, apply rules, honour ``# repro: noqa`` pragmas.
+
+Suppression syntax:
+
+* line:  ``x = time.time()  # repro: noqa[RPR001] real-runtime timer``
+* file:  ``# repro: noqa-file[RPR001]: this module measures wall clock``
+  (a comment-only line anywhere in the file, conventionally at the top)
+
+Unparsable files produce a single, unsuppressible ``RPR000`` violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+# Import for the side effect of registering the rules.
+import repro.lint.checks  # noqa: F401
+from repro.lint.rules import (
+    SYNTAX_ERROR_CODE,
+    ParsedModule,
+    Violation,
+    applicable_rules,
+)
+
+__all__ = ["LintResult", "lint_file", "lint_paths"]
+
+_NOQA_LINE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
+_NOQA_FILE = re.compile(r"^\s*#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint invocation."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "LintResult") -> None:
+        self.violations.extend(other.violations)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+
+def _codes(match: re.Match) -> set[str]:
+    return {code.strip() for code in match.group(1).split(",") if code.strip()}
+
+
+def _build_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to dotted origins for every import in the module."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds `a.b`.
+                aliases[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def lint_file(
+    path: Path,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint one file."""
+    result = LintResult(files_checked=1)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        result.violations.append(
+            Violation(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code=SYNTAX_ERROR_CODE,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        )
+        return result
+    lines = source.splitlines()
+    module = ParsedModule(
+        path=path, tree=tree, lines=lines, aliases=_build_aliases(tree)
+    )
+
+    file_suppressed: set[str] = set()
+    line_suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        file_match = _NOQA_FILE.search(line)
+        if file_match:
+            file_suppressed |= _codes(file_match)
+            continue
+        line_match = _NOQA_LINE.search(line)
+        if line_match:
+            line_suppressed[lineno] = _codes(line_match)
+
+    for rule in applicable_rules(path, select=select, ignore=ignore):
+        for violation in rule.check(module):
+            if violation.code in file_suppressed or violation.code in (
+                line_suppressed.get(violation.line, ())
+            ):
+                result.suppressed.append(violation)
+            else:
+                result.violations.append(violation)
+    result.violations.sort()
+    return result
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint files and/or directories (recursing into ``*.py``)."""
+    result = LintResult()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    for file in files:
+        result.merge(lint_file(file, select=select, ignore=ignore))
+    result.violations.sort()
+    return result

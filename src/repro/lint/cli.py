@@ -1,0 +1,79 @@
+"""``python -m repro lint`` — the determinism linter subcommand."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.lint.checker import lint_paths
+from repro.lint.report import format_human, format_json, format_rule_listing
+from repro.lint.rules import RULE_REGISTRY
+
+__all__ = ["add_lint_parser", "cmd_lint"]
+
+
+def add_lint_parser(sub) -> argparse.ArgumentParser:
+    parser = sub.add_parser(
+        "lint",
+        help="statically check determinism invariants (RPR001...)",
+        description=(
+            "AST-based determinism linter for the simulation code: "
+            "wall-clock access, global RNG, set iteration, mutable "
+            "defaults, float time equality, heap tiebreakers."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its scope and rationale, then exit",
+    )
+    return parser
+
+
+def _split(codes: str | None) -> list[str] | None:
+    if codes is None:
+        return None
+    return [code.strip() for code in codes.split(",") if code.strip()]
+
+
+def cmd_lint(args, out) -> int:
+    """Run the linter; exit 0 iff no violations."""
+    if args.list_rules:
+        print(format_rule_listing(), file=out)
+        return 0
+    # A typo'd code must not silently select nothing and report clean.
+    for option in (args.select, args.ignore):
+        for code in _split(option) or []:
+            if code not in RULE_REGISTRY:
+                known = ", ".join(sorted(RULE_REGISTRY))
+                print(
+                    f"error: unknown rule code {code!r} (known: {known})",
+                    file=out,
+                )
+                return 2
+    try:
+        result = lint_paths(
+            args.paths, select=_split(args.select), ignore=_split(args.ignore)
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.format == "json":
+        print(format_json(result), file=out)
+    else:
+        print(format_human(result), file=out)
+    return 0 if result.ok else 1

@@ -1,0 +1,57 @@
+"""Pytest integration for the runtime sanitizer.
+
+Registered from ``tests/conftest.py``.  Two entry points:
+
+* ``pytest --repro-sanitize`` sets ``REPRO_SANITIZE=1`` for the whole
+  session, so every simulated backend that builds its event loop through
+  :func:`repro.sim.engine.make_environment` runs on a
+  :class:`~repro.lint.sanitizer.SanitizedEnvironment`;
+* the ``sanitized_env`` fixture hands a test an instrumented
+  environment and fails the test at teardown if the sanitizer caught a
+  kernel-contract violation or a queue leak.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint.sanitizer import SanitizedEnvironment
+
+__all__ = ["sanitized_env"]
+
+_OPTION = "--repro-sanitize"
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("repro")
+    group.addoption(
+        _OPTION,
+        action="store_true",
+        default=False,
+        help="run simulated backends under the determinism sanitizer "
+        "(sets REPRO_SANITIZE=1)",
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption(_OPTION):
+        os.environ["REPRO_SANITIZE"] = "1"
+
+
+def pytest_report_header(config) -> str:
+    enabled = config.getoption(_OPTION) or bool(os.environ.get("REPRO_SANITIZE"))
+    return f"repro sanitizer: {'on' if enabled else 'off'}"
+
+
+@pytest.fixture
+def sanitized_env():
+    """A strict SanitizedEnvironment; leaks fail the test at teardown."""
+    env = SanitizedEnvironment(strict=True)
+    yield env
+    report = env.sanitizer_report()
+    if report.issues:
+        pytest.fail(
+            "sanitizer caught issues:\n" + report.summary(), pytrace=False
+        )

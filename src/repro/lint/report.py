@@ -1,0 +1,54 @@
+"""Output formats for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.checker import LintResult
+from repro.lint.rules import all_rules
+
+__all__ = ["format_human", "format_json", "format_rule_listing"]
+
+
+def format_human(result: LintResult) -> str:
+    """flake8-style one-line-per-violation text plus a summary."""
+    lines = [violation.format() for violation in result.violations]
+    summary = (
+        f"{len(result.violations)} violation"
+        f"{'' if len(result.violations) == 1 else 's'} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} file"
+        f"{'' if result.files_checked == 1 else 's'}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Stable JSON document for CI and tooling."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "suppressed": len(result.suppressed),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rule_listing() -> str:
+    """``repro lint --list-rules`` output."""
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+        lines.append(f"{rule.code} {rule.name} [{scope}]")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Runtime simulation sanitizer: an instrumented DES environment.
+
+:class:`SanitizedEnvironment` is a drop-in :class:`~repro.sim.engine.
+Environment` that, while the simulation runs,
+
+* records a **deterministic event trace** (time, scheduling sequence,
+  event type, process name) — two runs with the same seed must produce
+  byte-identical traces;
+* detects events fired or re-enqueued **twice** (a kernel-contract
+  violation; raises in strict mode);
+* counts **same-timestamp ties**, i.e. places where only the
+  scheduling-order guarantee keeps the run deterministic;
+* tracks processes so a post-run report can list those that ended the
+  run **still waiting** on an event nobody triggered;
+* hooks every :class:`~repro.cloud.queue.MessageQueue` built on it (the
+  queue registers itself via ``env.register_queue``) and reports
+  **leaked in-flight messages**: receipts that went stale — the
+  visibility timeout passed — without the reappearance accounting ever
+  running, which breaks the at-least-once delivery story.
+
+Opt in either by constructing :class:`SanitizedEnvironment` directly or
+by setting ``REPRO_SANITIZE=1`` and building environments through
+:func:`repro.sim.engine.make_environment` (the simulated backends do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import Environment, Event, Process, SimulationError
+
+__all__ = ["SanitizedEnvironment", "SanitizerError", "SanitizerReport"]
+
+
+class SanitizerError(SimulationError):
+    """A kernel-contract violation caught by the sanitizer."""
+
+
+@dataclass
+class SanitizerReport:
+    """Post-run findings.  ``issues`` is empty for a healthy run."""
+
+    events_fired: int = 0
+    same_time_ties: int = 0
+    double_triggers: list[str] = field(default_factory=list)
+    pending_processes: list[str] = field(default_factory=list)
+    queue_leaks: list[str] = field(default_factory=list)
+
+    @property
+    def issues(self) -> list[str]:
+        return self.double_triggers + self.queue_leaks
+
+    def summary(self) -> str:
+        lines = [
+            f"events fired: {self.events_fired}",
+            f"same-time ties (order held by scheduling sequence): "
+            f"{self.same_time_ties}",
+        ]
+        for label, findings in (
+            ("double triggers", self.double_triggers),
+            ("processes still waiting at end of run", self.pending_processes),
+            ("leaked in-flight queue messages", self.queue_leaks),
+        ):
+            lines.append(f"{label}: {len(findings)}")
+            lines.extend(f"  - {finding}" for finding in findings)
+        return "\n".join(lines)
+
+
+class SanitizedEnvironment(Environment):
+    """Instrumented event loop.  ``strict=True`` raises on violations
+    (double triggers / re-enqueues); the trace and the statistical
+    findings are always collected."""
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = True):
+        super().__init__(initial_time)
+        self.strict = strict
+        self.trace: list[str] = []
+        self.same_time_ties = 0
+        self._double_triggers: list[str] = []
+        self._processes: list[Process] = []
+        self._queues: list = []
+
+    # -- hooks ------------------------------------------------------------
+    def register_queue(self, queue) -> None:
+        """Called by MessageQueue.__init__ to enrol in leak detection."""
+        self._queues.append(queue)
+
+    def process(self, generator, name: str | None = None) -> Process:
+        proc = super().process(generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def _enqueue(self, event: Event, delay: float) -> None:
+        if event.processed:
+            self._flag(
+                f"{type(event).__name__} re-enqueued after its callbacks "
+                f"already ran (t={self.now!r})"
+            )
+        super()._enqueue(event, delay)
+
+    def step(self) -> None:
+        if not self._heap:
+            raise SimulationError("no events to step")
+        time, seq, event = self._heap[0]
+        if event.processed:
+            self._flag(
+                f"{type(event).__name__} fired twice (t={time!r}, seq={seq})"
+            )
+        label = getattr(event, "name", None) or type(event).__name__
+        self.trace.append(f"{time!r} #{seq} {label}")
+        super().step()
+        if self._heap and self._heap[0][0] == time:
+            self.same_time_ties += 1
+
+    def _flag(self, message: str) -> None:
+        self._double_triggers.append(message)
+        if self.strict:
+            raise SanitizerError(message)
+
+    # -- reporting --------------------------------------------------------
+    def trace_text(self) -> str:
+        """The event trace as one newline-joined string (replay tests
+        compare this byte-for-byte across same-seed runs)."""
+        return "\n".join(self.trace)
+
+    def sanitizer_report(self) -> SanitizerReport:
+        """Findings as of now; call after the run has finished."""
+        report = SanitizerReport(
+            events_fired=len(self.trace),
+            same_time_ties=self.same_time_ties,
+            double_triggers=list(self._double_triggers),
+        )
+        report.pending_processes = [
+            f"process {proc.name!r} never finished: it is still waiting "
+            "on an event nobody triggered"
+            for proc in self._processes
+            if proc.is_alive
+        ]
+        for queue in self._queues:
+            report.queue_leaks.extend(self._queue_leaks(queue))
+        return report
+
+    def _queue_leaks(self, queue) -> list[str]:
+        leaks = []
+        for message_id in sorted(queue._inflight):
+            message = queue._messages.get(message_id)
+            if message is None:
+                # delete() retires the receipt; an orphan entry means the
+                # bookkeeping itself broke.
+                leaks.append(
+                    f"queue {queue.name!r}: in-flight entry for deleted "
+                    f"message {message_id} was never retired"
+                )
+            elif message.visible_at <= self.now:
+                leaks.append(
+                    f"queue {queue.name!r}: message {message_id} receipt "
+                    f"{queue._inflight[message_id]} went stale at "
+                    f"t={message.visible_at!r} but the reappearance was "
+                    "never accounted (at-least-once delivery broken)"
+                )
+        return leaks

@@ -17,6 +17,7 @@ from repro.sim.engine import (
     Process,
     SimulationError,
     Timeout,
+    make_environment,
 )
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry
@@ -34,4 +35,5 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "make_environment",
 ]

@@ -16,6 +16,7 @@ Determinism guarantees:
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Generator, Iterable
 from typing import Any, Callable
 
@@ -28,6 +29,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "make_environment",
 ]
 
 
@@ -404,3 +406,24 @@ class Environment:
         if until is not None and limit > self._now:
             self._now = limit
         return None
+
+
+def make_environment(
+    initial_time: float = 0.0, sanitize: bool | None = None
+) -> Environment:
+    """Environment factory honouring the sanitizer opt-in.
+
+    With ``sanitize=True`` — or ``sanitize=None`` and ``REPRO_SANITIZE``
+    set in the process environment — returns an instrumented
+    :class:`repro.lint.sanitizer.SanitizedEnvironment` (imported lazily
+    to keep the kernel free of lint dependencies); otherwise a plain
+    :class:`Environment`.  Every simulated backend builds its event loop
+    through this factory.
+    """
+    if sanitize is None:
+        sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+    if sanitize:
+        from repro.lint.sanitizer import SanitizedEnvironment
+
+        return SanitizedEnvironment(initial_time)
+    return Environment(initial_time)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.cloud.instance_types import get_instance_type
 from repro.cloud.queue import MessageQueue
 from repro.cloud.storage import BlobStore
-from repro.sim.engine import Environment
+from repro.sim.engine import make_environment
 from repro.sim.rng import RngRegistry
 
 __all__ = ["TwisterAzureSimulator", "TwisterSimConfig"]
@@ -72,7 +72,7 @@ class TwisterAzureSimulator:
         if mode not in ("naive", "twister"):
             raise ValueError(f"unknown mode {mode!r}")
         config = self.config
-        env = Environment()
+        env = make_environment()
         rng = RngRegistry(config.seed)
         storage = BlobStore(
             env, "twister-storage", rng.stream("storage"),

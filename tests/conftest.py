@@ -1,0 +1,7 @@
+"""Shared test configuration: load the repro sanitizer pytest plugin.
+
+The plugin adds ``--repro-sanitize`` (run every simulated backend on the
+instrumented event loop) and the ``sanitized_env`` fixture.
+"""
+
+pytest_plugins = ["repro.lint.pytest_plugin"]

@@ -1,0 +1,15 @@
+"""Fixture: a module the determinism linter must accept unchanged."""
+
+import heapq
+
+import numpy as np
+
+
+def schedule(heap, when, sequence, event):
+    heapq.heappush(heap, (when, sequence, event))
+
+
+def draw(seed, task_ids, done_at, now):
+    rng = np.random.default_rng(seed)
+    ordered = [rng.random() for _ in sorted(set(task_ids))]
+    return ordered, done_at <= now

@@ -1,0 +1,12 @@
+"""Fixture: global RNG access (RPR002)."""
+
+import random
+
+import numpy as np
+
+
+def draw_latency():
+    jitter = random.random()
+    sample = np.random.lognormal(mean=0.0, sigma=0.35)
+    unseeded = np.random.default_rng()
+    return jitter, sample, unseeded

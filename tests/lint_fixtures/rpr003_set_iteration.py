@@ -1,0 +1,7 @@
+"""Fixture: iteration over sets feeding scheduling order (RPR003)."""
+
+
+def schedule_tasks(env, task_ids, extra):
+    for task_id in set(task_ids):
+        env.enqueue(task_id)
+    return [env.enqueue(t) for t in {"a", "b", *extra}]

@@ -1,0 +1,11 @@
+"""Fixture: mutable default arguments (RPR004)."""
+
+
+def collect_records(record, seen=[]):
+    seen.append(record)
+    return seen
+
+
+def merge_stats(stats, totals={}):
+    totals.update(stats)
+    return totals

@@ -1,0 +1,7 @@
+"""Fixture: float equality on simulated-time values (RPR005)."""
+
+
+def is_due(env, message):
+    if message.visible_at == env.now:
+        return True
+    return message.finished_time != 0.0

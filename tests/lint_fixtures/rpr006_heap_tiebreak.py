@@ -1,0 +1,7 @@
+"""Fixture: heap entries without a sequence tiebreaker (RPR006)."""
+
+import heapq
+
+
+def enqueue(heap, when, event):
+    heapq.heappush(heap, (when, event))

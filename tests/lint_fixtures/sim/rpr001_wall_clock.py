@@ -1,0 +1,12 @@
+"""Fixture: wall-clock access inside simulation-scoped code (RPR001)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def measure_service_time():
+    started = time.time()
+    checkpoint = perf_counter()
+    stamp = datetime.now()
+    return started, checkpoint, stamp

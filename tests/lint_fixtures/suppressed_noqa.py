@@ -1,0 +1,10 @@
+"""Fixture: violations silenced by repro noqa pragmas."""
+
+# repro: noqa-file[RPR004]: fixture exercising file-level suppression
+
+import random
+
+
+def sample(values, bucket=[]):
+    bucket.append(random.choice(values))  # repro: noqa[RPR002] fixture
+    return bucket

@@ -1,5 +1,7 @@
 """Tests for the simulated message queue (SQS / Azure Queue)."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -325,3 +327,64 @@ def test_at_least_once_no_message_lost_under_crash_pattern():
         completed.add(msg.body)
         drive(env, q.delete(msg))
     assert completed == set(range(n))
+
+
+def test_delete_after_reappearance_without_rereceive_succeeds():
+    """A receipt is only invalidated by a *newer receive*.  If the
+    message reappeared but nobody picked it up, the original consumer's
+    delete still lands (the reappearance accounting cleared the
+    in-flight entry, so there is no competing owner)."""
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0)
+    drive(env, q.send("t"))
+    msg = drive(env, q.receive())
+    env.run(until=env.now + 6.0)
+    assert q.visible_now() == 1  # reappeared, accounted, unclaimed
+    assert q.stats.reappearances == 1
+    drive(env, q.delete(msg))  # no StaleReceiptError
+    assert q.stats.stale_deletes == 0
+    assert q.approximate_size() == 0
+    assert drive(env, q.receive()) is None
+
+
+def test_double_receive_rotates_receipts_monotonically():
+    """Every receive mints a fresh receipt; only the newest deletes."""
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=2.0)
+    drive(env, q.send("t"))
+    receipts = []
+    for _ in range(3):
+        msg = drive(env, q.receive())
+        assert msg is not None
+        receipts.append(msg.receipt)
+        env.run(until=env.now + 3.0)  # lapse the visibility window
+    assert receipts == sorted(receipts)
+    assert len(set(receipts)) == 3
+    final = drive(env, q.receive())
+    assert final.receive_count == 4
+    # Each superseded receipt fails; the latest one wins.
+    for stale in receipts:
+        with pytest.raises(StaleReceiptError):
+            drive(env, q.delete(replace(final, receipt=stale)))
+    assert q.stats.stale_deletes == 3
+    drive(env, q.delete(final))
+    assert q.approximate_size() == 0
+
+
+def test_sanitizer_leak_detection_on_abandoned_inflight_message():
+    """The SanitizedEnvironment hook flags a receipt that went stale
+    without the reappearance ever being accounted — a lost message."""
+    from repro.lint.sanitizer import SanitizedEnvironment
+
+    env = SanitizedEnvironment()
+    q = make_queue(env, visibility_timeout_s=5.0)
+    drive(env, q.send("a"))
+    drive(env, q.send("b"))
+    kept = drive(env, q.receive())
+    abandoned = drive(env, q.receive())
+    assert {kept.body, abandoned.body} == {"a", "b"}
+    drive(env, q.delete(kept))
+    env.run(until=env.now + 30.0)
+    leaks = env.sanitizer_report().queue_leaks
+    assert len(leaks) == 1
+    assert f"message {abandoned.message_id} " in leaks[0]

@@ -1,0 +1,210 @@
+"""Tests for the runtime simulation sanitizer (repro.lint.sanitizer)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.queue import MessageQueue
+from repro.lint.sanitizer import (
+    SanitizedEnvironment,
+    SanitizerError,
+)
+from repro.sim.engine import Environment, make_environment
+
+
+def make_queue(env, **kwargs):
+    defaults = dict(
+        rng=np.random.default_rng(11),
+        visibility_timeout_s=10.0,
+        request_latency_s=0.010,
+        latency_sigma=0.0,
+        propagation_delay_s=0.0,
+        miss_probability=0.0,
+    )
+    defaults.update(kwargs)
+    return MessageQueue(env, "tasks", **defaults)
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestFactory:
+    def test_default_is_plain_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        env = make_environment()
+        assert type(env) is Environment
+
+    def test_env_var_opts_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        env = make_environment()
+        assert isinstance(env, SanitizedEnvironment)
+
+    def test_explicit_flag_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert type(make_environment(sanitize=False)) is Environment
+        monkeypatch.delenv("REPRO_SANITIZE")
+        assert isinstance(
+            make_environment(sanitize=True), SanitizedEnvironment
+        )
+
+
+class TestTrace:
+    def test_trace_records_every_fired_event(self):
+        env = SanitizedEnvironment()
+
+        def ticker(env):
+            for _ in range(3):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env), name="ticker")
+        env.run()
+        assert env.trace
+        assert any("ticker" in line for line in env.trace)
+        report = env.sanitizer_report()
+        assert report.events_fired == len(env.trace)
+
+    def test_trace_is_deterministic_across_runs(self):
+        def play():
+            env = SanitizedEnvironment()
+            q = make_queue(env)
+
+            def producer(env):
+                for i in range(5):
+                    yield env.process(q.send(i))
+
+            def consumer(env):
+                got = 0
+                while got < 5:
+                    msg = yield env.process(q.receive())
+                    if msg is None:
+                        yield env.timeout(0.1)
+                        continue
+                    yield env.process(q.delete(msg))
+                    got += 1
+
+            env.process(producer(env), name="producer")
+            done = env.process(consumer(env), name="consumer")
+            env.run(until=done)
+            return env.trace_text()
+
+        assert play() == play()
+
+    def test_same_time_ties_counted(self):
+        env = SanitizedEnvironment()
+
+        def twin(env):
+            yield env.timeout(1.0)
+
+        env.process(twin(env), name="a")
+        env.process(twin(env), name="b")
+        env.run()
+        assert env.same_time_ties > 0
+
+
+class TestViolations:
+    def test_reenqueue_of_processed_event_raises(self):
+        env = SanitizedEnvironment(strict=True)
+        event = env.event()
+        event.succeed("x")
+        env.run()
+        assert event.processed
+        with pytest.raises(SanitizerError):
+            env._enqueue(event, 0.0)
+
+    def test_non_strict_mode_records_instead(self):
+        env = SanitizedEnvironment(strict=False)
+        event = env.event()
+        event.succeed("x")
+        env.run()
+        env._enqueue(event, 0.0)
+        env.run()
+        report = env.sanitizer_report()
+        assert report.double_triggers
+        assert report.issues
+
+    def test_pending_process_reported(self):
+        env = SanitizedEnvironment()
+
+        def waiter(env):
+            yield env.event()  # nobody will ever trigger this
+
+        env.process(waiter(env), name="stuck")
+        env.run()
+        report = env.sanitizer_report()
+        assert any("stuck" in finding for finding in report.pending_processes)
+
+    def test_finished_processes_not_reported(self):
+        env = SanitizedEnvironment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        env.process(quick(env), name="quick")
+        env.run()
+        assert env.sanitizer_report().pending_processes == []
+
+
+class TestQueueLeakDetection:
+    def test_queue_self_registers_on_sanitized_env(self):
+        env = SanitizedEnvironment()
+        q = make_queue(env)
+        assert q in env._queues
+
+    def test_stale_receipt_without_reaccounting_is_a_leak(self):
+        env = SanitizedEnvironment()
+        q = make_queue(env, visibility_timeout_s=5.0)
+        drive(env, q.send("t"))
+        msg = drive(env, q.receive())
+        assert msg is not None
+        # Let the visibility timeout lapse with no further receives:
+        # nobody runs the reappearance accounting, the message is lost
+        # to consumers — the at-least-once story is broken.
+        env.run(until=env.now + 60.0)
+        report = env.sanitizer_report()
+        assert len(report.queue_leaks) == 1
+        assert "went stale" in report.queue_leaks[0]
+
+    def test_reappearance_accounting_clears_the_leak(self):
+        env = SanitizedEnvironment()
+        q = make_queue(env, visibility_timeout_s=5.0)
+        drive(env, q.send("t"))
+        drive(env, q.receive())
+        env.run(until=env.now + 60.0)
+        msg = drive(env, q.receive())  # promotes the reappeared message
+        assert msg is not None
+        drive(env, q.delete(msg))
+        assert env.sanitizer_report().queue_leaks == []
+
+    def test_clean_consume_has_no_leaks(self):
+        env = SanitizedEnvironment()
+        q = make_queue(env)
+        drive(env, q.send("t"))
+        msg = drive(env, q.receive())
+        drive(env, q.delete(msg))
+        report = env.sanitizer_report()
+        assert report.queue_leaks == []
+        assert report.issues == []
+
+
+class TestPytestIntegration:
+    def test_sanitized_env_fixture(self, sanitized_env):
+        assert isinstance(sanitized_env, SanitizedEnvironment)
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        sanitized_env.process(proc(sanitized_env), name="p")
+        sanitized_env.run()
+        assert sanitized_env.now == pytest.approx(1.0)
+
+    def test_report_summary_mentions_counts(self):
+        env = SanitizedEnvironment()
+
+        def proc(env):
+            yield env.timeout(1.0)
+
+        env.process(proc(env), name="p")
+        env.run()
+        summary = env.sanitizer_report().summary()
+        assert "events fired" in summary
+        assert "same-time ties" in summary
