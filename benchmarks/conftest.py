@@ -5,6 +5,13 @@ the simulation once under pytest-benchmark timing, prints the rows (run
 with ``-s`` to see them live), writes them to ``benchmarks/results/``,
 and asserts the paper's qualitative shape (who wins, by what rough
 factor, where crossovers fall).
+
+The study-based benchmarks route their sweeps through
+:mod:`repro.sweep` via the ``sweep_kwargs`` fixture: worker processes
+come from ``REPRO_JOBS`` (default ``os.cpu_count()``) and completed
+points are reused through the content-addressed cache under
+``.repro-cache/``.  Set ``REPRO_NO_CACHE=1`` when you want the timing
+columns to measure fresh simulation instead of cache reads.
 """
 
 from pathlib import Path
@@ -12,6 +19,14 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def sweep_kwargs():
+    """``jobs=``/``cache=`` plumbing for study-based benchmarks."""
+    from repro.sweep import default_cache
+
+    return {"jobs": None, "cache": default_cache()}
 
 
 @pytest.fixture

@@ -19,12 +19,14 @@ from benchmarks._shapes import ec2_16core_backends
 from benchmarks.conftest import run_once
 
 
-def test_fig12_13_gtm_ec2_instance_types(benchmark, emit):
+def test_fig12_13_gtm_ec2_instance_types(benchmark, emit, sweep_kwargs):
     app = get_application("gtm")
     tasks = gtm_task_specs(n_files=64)
 
     def study():
-        return instance_type_study(app, ec2_16core_backends(), tasks)
+        return instance_type_study(
+            app, ec2_16core_backends(), tasks, **sweep_kwargs
+        )
 
     rows = run_once(benchmark, study)
     emit(

@@ -46,13 +46,15 @@ def backend_factories():
     }
 
 
-def test_fig5_6_cap3_scaling(benchmark, emit):
+def test_fig5_6_cap3_scaling(benchmark, emit, sweep_kwargs):
     app = get_application("cap3")
 
     def study():
         out = {}
         for name, factory in backend_factories().items():
-            out[name] = scalability_study(app, factory, CORE_COUNTS, tasks_for)
+            out[name] = scalability_study(
+                app, factory, CORE_COUNTS, tasks_for, **sweep_kwargs
+            )
         return out
 
     results = run_once(benchmark, study)

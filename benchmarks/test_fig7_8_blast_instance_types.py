@@ -21,12 +21,14 @@ from benchmarks._shapes import ec2_16core_backends
 from benchmarks.conftest import run_once
 
 
-def test_fig7_8_blast_ec2_instance_types(benchmark, emit):
+def test_fig7_8_blast_ec2_instance_types(benchmark, emit, sweep_kwargs):
     app = get_application("blast")
     tasks = blast_task_specs(64, inhomogeneous_base=False, seed=3)
 
     def study():
-        return instance_type_study(app, ec2_16core_backends(), tasks)
+        return instance_type_study(
+            app, ec2_16core_backends(), tasks, **sweep_kwargs
+        )
 
     rows = run_once(benchmark, study)
     emit(

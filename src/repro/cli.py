@@ -8,6 +8,10 @@ Commands:
   paper's metrics (Eq. 1 efficiency, Eq. 2 per-file time, cost);
 * ``cost`` — the Table 4 style cloud-vs-cluster comparison for an
   arbitrary file count;
+* ``bench`` — the microbenchmark suite (kernel ops + per-app sweeps),
+  written to ``BENCH_2.json`` (:mod:`repro.sweep.bench`);
+* ``cache`` — inspect (``stats``) or empty (``clear``) the
+  content-addressed sweep result cache under ``.repro-cache/``;
 * ``lint`` — the determinism linter over the simulation sources
   (:mod:`repro.lint`).
 """
@@ -78,6 +82,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="run on the instrumented event loop and print the "
         "sanitizer report (sets REPRO_SANITIZE=1)",
+    )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: REPRO_JOBS or cpu count)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the result cache under .repro-cache/",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the microbenchmark suite and write BENCH JSON"
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes: verify wiring in seconds, numbers not publishable",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: REPRO_JOBS or cpu count)",
+    )
+    bench_parser.add_argument(
+        "--output", default="BENCH_2.json", help="output JSON path"
+    )
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the sweep result cache"
+    )
+    cache_parser.add_argument("action", choices=("stats", "clear"))
+    cache_parser.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
     )
 
     cost_parser = sub.add_parser(
@@ -200,27 +236,39 @@ def _cmd_run(args, out) -> int:
             cluster = cluster.subset(args.nodes)
         kwargs["cluster"] = cluster
     backend = make_backend(args.backend, **kwargs)
-    result = backend.run(app, tasks)
-    t1 = backend.estimate_sequential_time(app, tasks)
-    cores = backend.total_cores
+    from repro.sweep.cache import default_cache
+    from repro.sweep.points import InlinePoint, point_for, run_inline
+    from repro.sweep.runner import run_points
+
+    if args.sanitize:
+        # The sanitizer report needs the live backend's event loop, so
+        # run in-process and uncached.
+        point = InlinePoint(
+            app=app, backend=backend, tasks=tasks, label=backend.name
+        )
+        r = run_inline(point)
+    else:
+        cache = None if args.no_cache else default_cache()
+        r = run_points(
+            [point_for(app, backend, tasks)], jobs=args.jobs, cache=cache
+        )[0]
     rows = [
-        ["backend", result.backend],
-        ["tasks", str(result.n_tasks)],
-        ["cores", str(cores)],
-        ["makespan", f"{result.makespan_seconds:,.1f} s"],
-        ["T1 (sequential)", f"{t1:,.1f} s"],
+        ["backend", r.backend],
+        ["tasks", str(r.n_tasks)],
+        ["cores", str(r.cores)],
+        ["makespan", f"{r.makespan_s:,.1f} s"],
+        ["T1 (sequential)", f"{r.t1_s:,.1f} s"],
         ["parallel efficiency (Eq.1)",
-         f"{parallel_efficiency(t1, result.makespan_seconds, cores):.3f}"],
+         f"{parallel_efficiency(r.t1_s, r.makespan_s, r.cores):.3f}"],
         ["avg time/file/core (Eq.2)",
-         f"{average_time_per_file_per_core(result.makespan_seconds, cores, result.n_tasks):.2f} s"],
+         f"{average_time_per_file_per_core(r.makespan_s, r.cores, r.n_tasks):.2f} s"],
     ]
-    if result.billing is not None:
+    if r.billed:
         rows.append(
-            ["compute cost (hour units)", f"${result.billing.compute_cost:.2f}"]
+            ["compute cost (hour units)", f"${r.compute_cost:.2f}"]
         )
         rows.append(
-            ["amortized total cost",
-             f"${result.billing.total_amortized_cost:.2f}"]
+            ["amortized total cost", f"${r.amortized_cost:.2f}"]
         )
     print(format_table(["metric", "value"], rows,
                        title=f"{args.app} on {args.backend}"), file=out)
@@ -263,6 +311,29 @@ def _cmd_cost(args, out) -> int:
     print(format_table(
         ["internal cluster", "cost"], comparison.cluster_rows(),
     ), file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.sweep.bench import main as bench_main
+
+    return bench_main(args, out)
+
+
+def _cmd_cache(args, out) -> int:
+    from repro.sweep.cache import DEFAULT_CACHE_DIRNAME, ResultCache
+
+    root = args.dir or os.environ.get(
+        "REPRO_CACHE_DIR"
+    ) or DEFAULT_CACHE_DIRNAME
+    cache = ResultCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {root}", file=out)
+        return 0
+    stats = cache.stats()
+    print(f"cache at {root}", file=out)
+    print(stats.summary(), file=out)
     return 0
 
 
@@ -366,6 +437,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "cost":
         return _cmd_cost(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
+    if args.command == "cache":
+        return _cmd_cache(args, out)
     if args.command == "figures":
         return _cmd_figures(args, out)
     if args.command == "analyze":

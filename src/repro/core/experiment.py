@@ -6,6 +6,13 @@
 * :func:`scalability_study` — grow the workload with the core count and
   report parallel efficiency (Eq. 1) and per-file per-core time (Eq. 2)
   (Figures 5/6, 10/11, 14/15).
+
+Both drivers expand their sweep into independent points and hand them to
+:func:`repro.sweep.runner.run_points`, so they accept ``jobs=`` (process
+parallelism; default serial) and ``cache=`` (a
+:class:`~repro.sweep.cache.ResultCache`; default none).  Results are
+ordered by the input sweep regardless of worker completion order, so
+``jobs=4`` and ``jobs=1`` return identical rows.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from repro.core.application import Application
 from repro.core.backends import Backend
 from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
 from repro.core.task import TaskSpec
+from repro.sweep.points import point_for
+from repro.sweep.runner import run_points
 
 __all__ = [
     "InstanceStudyRow",
@@ -50,32 +59,30 @@ def instance_type_study(
     app: Application,
     backends: Sequence[Backend],
     tasks: list[TaskSpec],
+    *,
+    jobs: "int | None" = 1,
+    cache=None,
 ) -> list[InstanceStudyRow]:
     """Run the same task set on each deployment shape.
 
     The paper holds total cores at 16 and varies the instance type;
     callers are responsible for choosing backends honouring that.
     """
-    rows = []
-    for backend in backends:
-        result = backend.run(app, tasks)
-        billing = result.billing
-        label = getattr(getattr(backend, "config", None), "label", backend.name)
-        rows.append(
-            InstanceStudyRow(
-                label=label,
-                compute_time_s=result.makespan_seconds,
-                compute_cost=billing.compute_cost if billing else 0.0,
-                amortized_cost=(
-                    billing.total_amortized_cost if billing else 0.0
-                ),
-                total_cost=billing.total_cost if billing else 0.0,
-                per_core_time_s=average_time_per_file_per_core(
-                    result.makespan_seconds, backend.total_cores, len(tasks)
-                ),
-            )
+    points = [point_for(app, backend, tasks) for backend in backends]
+    results = run_points(points, jobs=jobs, cache=cache)
+    return [
+        InstanceStudyRow(
+            label=r.label,
+            compute_time_s=r.makespan_s,
+            compute_cost=r.compute_cost,
+            amortized_cost=r.amortized_cost,
+            total_cost=r.total_cost,
+            per_core_time_s=average_time_per_file_per_core(
+                r.makespan_s, r.cores, r.n_tasks
+            ),
         )
-    return rows
+        for r in results
+    ]
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,9 @@ def scalability_study(
     backend_factory: Callable[[int], Backend],
     core_counts: Sequence[int],
     tasks_for: Callable[[int], list[TaskSpec]],
+    *,
+    jobs: "int | None" = 1,
+    cache=None,
 ) -> list[ScalingPoint]:
     """Weak-scaling sweep in the paper's style.
 
@@ -103,25 +113,22 @@ def scalability_study(
     ``tasks_for(cores)`` supplies the (growing) workload — the paper
     replicates its data set so workload scales with the fleet.
     """
-    points = []
-    for cores in core_counts:
-        backend = backend_factory(cores)
-        tasks = tasks_for(cores)
-        result = backend.run(app, tasks)
-        t1 = backend.estimate_sequential_time(app, tasks)
-        points.append(
-            ScalingPoint(
-                backend=backend.name,
-                cores=backend.total_cores,
-                n_tasks=len(tasks),
-                makespan_s=result.makespan_seconds,
-                t1_s=t1,
-                efficiency=parallel_efficiency(
-                    t1, result.makespan_seconds, backend.total_cores
-                ),
-                per_file_per_core_s=average_time_per_file_per_core(
-                    result.makespan_seconds, backend.total_cores, len(tasks)
-                ),
-            )
+    points = [
+        point_for(app, backend_factory(cores), tasks_for(cores))
+        for cores in core_counts
+    ]
+    results = run_points(points, jobs=jobs, cache=cache)
+    return [
+        ScalingPoint(
+            backend=r.backend,
+            cores=r.cores,
+            n_tasks=r.n_tasks,
+            makespan_s=r.makespan_s,
+            t1_s=r.t1_s,
+            efficiency=parallel_efficiency(r.t1_s, r.makespan_s, r.cores),
+            per_file_per_core_s=average_time_per_file_per_core(
+                r.makespan_s, r.cores, r.n_tasks
+            ),
         )
-    return points
+        for r in results
+    ]

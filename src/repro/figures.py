@@ -4,6 +4,14 @@ One function per evaluation artifact, each returning the printable table
 text.  The benchmark suite asserts shapes on the same underlying
 studies; this module is the lightweight CLI/table surface
 (``python -m repro figures <id>``).
+
+Every figure is a sweep of independent simulation points, so they all
+route through :mod:`repro.sweep`: points fan out over worker processes
+(``REPRO_JOBS`` / ``--jobs``) and completed points are served from the
+content-addressed cache under ``.repro-cache/`` (``REPRO_NO_CACHE=1``
+disables it).  Result ordering is fixed by the sweep definition, never
+by worker completion order, so the tables are identical at any job
+count.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from repro.core.backends import make_backend
 from repro.core.experiment import instance_type_study, scalability_study
 from repro.core.metrics import average_time_per_file_per_core, parallel_efficiency
 from repro.core.report import format_series, format_table
+from repro.sweep import default_cache, point_for, run_points
 
 __all__ = ["FIGURES", "available_figures", "render_figure"]
 
@@ -44,7 +53,9 @@ def _ec2_16core_backends():
 
 def _instance_figure(app_name: str, tasks, title: str) -> str:
     app = get_application(app_name)
-    rows = instance_type_study(app, _ec2_16core_backends(), tasks)
+    rows = instance_type_study(
+        app, _ec2_16core_backends(), tasks, jobs=None, cache=default_cache()
+    )
     return format_table(
         ["deployment", "compute time (s)", "cost $ (hour units)",
          "amortized $"],
@@ -89,9 +100,12 @@ def fig5_6() -> str:
     def tasks_for(cores):
         return cap3_task_specs(cores * 4, reads_per_file=458)
 
+    cache = default_cache()
     efficiency, per_file = {}, {}
     for name, factory in factories.items():
-        points = scalability_study(app, factory, core_counts, tasks_for)
+        points = scalability_study(
+            app, factory, core_counts, tasks_for, jobs=None, cache=cache
+        )
         efficiency[name] = {p.cores: p.efficiency for p in points}
         per_file[name] = {p.cores: p.per_file_per_core_s for p in points}
     return (
@@ -124,19 +138,25 @@ def fig9() -> str:
         ("Small", 8, 1, 1), ("Medium", 4, 2, 1), ("Large", 2, 4, 1),
         ("Large", 2, 1, 4), ("ExtraLarge", 1, 8, 1), ("ExtraLarge", 1, 1, 8),
     ]
-    rows = []
-    for itype, n, workers, threads in shapes:
-        backend = _quiet(
-            "azure",
-            instance_type=itype,
-            n_instances=n,
-            workers_per_instance=workers,
-            threads_per_worker=threads,
+    points = [
+        point_for(
+            app.with_threads(threads),
+            _quiet(
+                "azure",
+                instance_type=itype,
+                n_instances=n,
+                workers_per_instance=workers,
+                threads_per_worker=threads,
+            ),
+            tasks,
         )
-        result = backend.run(app.with_threads(threads), tasks)
-        rows.append(
-            [f"{itype} {workers}x{threads}", f"{result.makespan_seconds:,.0f}"]
-        )
+        for itype, n, workers, threads in shapes
+    ]
+    results = run_points(points, jobs=None, cache=default_cache())
+    rows = [
+        [f"{itype} {workers}x{threads}", f"{r.makespan_s:,.0f}"]
+        for (itype, _, workers, threads), r in zip(shapes, results)
+    ]
     return format_table(
         ["shape (workers x threads)", "time (s)"], rows,
         title="Figure 9: BLAST on Azure instance types",
@@ -161,19 +181,26 @@ def fig10_11() -> str:
             "dryadlinq", cluster=get_cluster("hpc-blast").subset(8)
         ),
     }
+    file_counts = (128, 256, 384)
+    tasks_by = {n: blast_task_specs(n, seed=6) for n in file_counts}
+    sweep = [
+        (name, n_files)
+        for name in backends
+        for n_files in file_counts
+    ]
+    points = [
+        point_for(app, backends[name], tasks_by[n_files])
+        for name, n_files in sweep
+    ]
+    results = run_points(points, jobs=None, cache=default_cache())
     efficiency, per_file = {}, {}
-    for name, backend in backends.items():
-        efficiency[name], per_file[name] = {}, {}
-        for n_files in (128, 256, 384):
-            tasks = blast_task_specs(n_files, seed=6)
-            result = backend.run(app, tasks)
-            t1 = backend.estimate_sequential_time(app, tasks)
-            efficiency[name][n_files] = parallel_efficiency(
-                t1, result.makespan_seconds, backend.total_cores
-            )
-            per_file[name][n_files] = average_time_per_file_per_core(
-                result.makespan_seconds, backend.total_cores, n_files
-            )
+    for (name, n_files), r in zip(sweep, results):
+        efficiency.setdefault(name, {})[n_files] = parallel_efficiency(
+            r.t1_s, r.makespan_s, r.cores
+        )
+        per_file.setdefault(name, {})[n_files] = (
+            average_time_per_file_per_core(r.makespan_s, r.cores, n_files)
+        )
     return (
         format_series("query files", efficiency,
                       title="Figure 10: BLAST parallel efficiency")
@@ -213,15 +240,16 @@ def fig14_15() -> str:
             "dryadlinq", cluster=get_cluster("gtm-dryad").subset(4)
         ),
     }
-    rows = []
-    for name, backend in backends.items():
-        result = backend.run(app, tasks)
-        t1 = backend.estimate_sequential_time(app, tasks)
-        rows.append(
-            [name, backend.total_cores,
-             f"{parallel_efficiency(t1, result.makespan_seconds, backend.total_cores):.3f}",
-             f"{average_time_per_file_per_core(result.makespan_seconds, backend.total_cores, len(tasks)):.1f}"]
-        )
+    points = [
+        point_for(app, backend, tasks) for backend in backends.values()
+    ]
+    results = run_points(points, jobs=None, cache=default_cache())
+    rows = [
+        [name, r.cores,
+         f"{parallel_efficiency(r.t1_s, r.makespan_s, r.cores):.3f}",
+         f"{average_time_per_file_per_core(r.makespan_s, r.cores, r.n_tasks):.1f}"]
+        for name, r in zip(backends, results)
+    ]
     return format_table(
         ["platform", "cores", "efficiency", "s/file/core"], rows,
         title="Figures 14+15: GTM Interpolation across platforms",

@@ -71,6 +71,12 @@ class SanitizedEnvironment(Environment):
     (double triggers / re-enqueues); the trace and the statistical
     findings are always collected."""
 
+    # Route every scheduling action through _enqueue and the heap (no
+    # same-time fast lane) so the overrides below observe all of them.
+    # The kernel materializes lane entries as traceable _Call events on
+    # this path; the (time, sequence) firing order is identical.
+    _use_lane = False
+
     def __init__(self, initial_time: float = 0.0, strict: bool = True):
         super().__init__(initial_time)
         self.strict = strict

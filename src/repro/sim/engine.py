@@ -11,13 +11,30 @@ Determinism guarantees:
 
 * events scheduled for the same simulated time fire in scheduling order;
 * no wall-clock or global-RNG access anywhere in the kernel.
+
+Fast paths
+----------
+
+The plain :class:`Environment` keeps a *same-time FIFO lane* next to the
+heap: anything scheduled with zero delay (``succeed()``/``fail()`` at
+``now``, process bootstraps, resumes on already-processed events) is
+appended to a deque instead of round-tripping through ``heapq``.  Every
+scheduling action — lane or heap — still consumes one global sequence
+number, and :meth:`Environment.step` merges the two sources by
+``(time, sequence)``, so the firing order is exactly the order the
+single-heap formulation would produce.  Instrumented subclasses (the
+runtime sanitizer) set ``_use_lane = False``, which routes every action
+through ``_enqueue``/the heap as a traceable :class:`Event` — same
+``(time, sequence)`` slots, same behaviour, full observability.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
+from collections import deque
 from collections.abc import Generator, Iterable
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 __all__ = [
@@ -35,6 +52,12 @@ __all__ = [
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
+
+
+_DEADLOCK_MESSAGE = (
+    "event loop drained before target event fired (deadlock: a process "
+    "is waiting on an event nobody will trigger)"
+)
 
 
 class Interrupt(Exception):
@@ -148,6 +171,30 @@ class Timeout(Event):
         env._enqueue(self, delay)
 
 
+class _Call(Event):
+    """A traceable stand-in for a lane entry on instrumented environments.
+
+    When ``_use_lane`` is off, :meth:`Environment._schedule_call` wraps
+    the callable in one of these and sends it through ``_enqueue`` so the
+    sanitizer sees (and traces) the same ``(time, sequence)`` slot the
+    fast lane would have consumed.
+    """
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, env: "Environment", fn: Callable[[], None], name: str):
+        super().__init__(env)
+        self._fn = fn
+        self.name = name
+        self._ok = True
+        self._value = None
+
+    def _run_callbacks(self) -> None:
+        self.callbacks = None
+        self._processed = True
+        self._fn()
+
+
 class Process(Event):
     """A running generator.  Its completion is itself an event.
 
@@ -157,7 +204,7 @@ class Process(Event):
     returns, the process event succeeds with the return value.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_epoch", "name")
 
     def __init__(
         self,
@@ -172,13 +219,12 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Event | None = None
+        self._epoch = 0
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off on the next event-loop iteration at the current time.
-        bootstrap = Event(env)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap._ok = True
-        bootstrap._value = None
-        env._enqueue(bootstrap, 0.0)
+        # No bootstrap Event is allocated: the lane (or a _Call on
+        # instrumented environments) carries the first resume directly.
+        env._schedule_call(self._start, self)
 
     @property
     def is_alive(self) -> bool:
@@ -188,18 +234,44 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
-        Interrupting a finished process is an error; interrupting a process
-        that is waiting on an event detaches it from that event.
+        Interrupting a finished process is an error.  Interrupting a
+        process that is waiting on an event detaches its resume callback
+        from that event, so abandoned waits do not accumulate dead
+        callbacks on long-lived events (retry loops used to leak one
+        callback per interrupt).
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting = self._waiting_on
+        if waiting is not None:
+            callbacks = waiting.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._waiting_on = None
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
         event.callbacks.append(self._resume)
-        # Detach from whatever we were waiting for; the stale callback is
-        # filtered in _resume via the _waiting_on check.
         self.env._enqueue(event, 0.0)
+
+    def _start(self) -> None:
+        """First resume: send None into the fresh generator."""
+        self._resume_core(True, None)
+
+    def _deliver(self, ok: bool, value: Any, epoch: int) -> None:
+        """Lane-scheduled resume for an already-processed target.
+
+        ``epoch`` snapshots the resume counter at scheduling time; if the
+        process has been resumed by anything else since (e.g. an
+        interrupt), this delivery is stale and dropped — mirroring the
+        ``_waiting_on`` identity check on the callback path.
+        """
+        if epoch != self._epoch or not self.is_alive:
+            return
+        self._resume_core(ok, value)
 
     def _resume(self, event: Event) -> None:
         if not self.is_alive:
@@ -210,12 +282,17 @@ class Process(Event):
             and not isinstance(event.value, Interrupt)
         ):
             return  # stale callback from an abandoned wait
+        self._resume_core(event._ok, event._value)
+
+    def _resume_core(self, ok: bool, value: Any) -> None:
+        self._epoch += 1
         self._waiting_on = None
+        generator = self._generator
         try:
-            if event._ok:
-                target = self._generator.send(event._value)
+            if ok:
+                target = generator.send(value)
             else:
-                target = self._generator.throw(event._value)
+                target = generator.throw(value)
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
@@ -233,18 +310,19 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
-        if target.env is not self.env:
+        env = self.env
+        if target.env is not env:
             raise SimulationError("cannot wait on an event from another Environment")
-        self._waiting_on = target
         if target._processed:
             # Already fired: resume on the next loop turn with its value.
-            immediate = Event(self.env)
-            immediate._ok = target._ok
-            immediate._value = target._value
-            immediate.callbacks.append(self._resume)
-            self._waiting_on = immediate
-            self.env._enqueue(immediate, 0.0)
+            # No intermediate Event is allocated; the delivery rides the
+            # same-time lane with a staleness token.
+            env._schedule_call(
+                partial(self._deliver, target._ok, target._value, self._epoch),
+                self,
+            )
         else:
+            self._waiting_on = target
             target.callbacks.append(self._resume)
 
 
@@ -289,6 +367,9 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _on_fire(self, event: Event) -> None:
+        # Guard: several constituents can fire at the same timestamp, so
+        # _on_fire re-entry after the condition triggered must be a no-op
+        # (succeed()/fail() on a triggered event raises SimulationError).
         if self.triggered:
             return
         if not event._ok:
@@ -303,6 +384,9 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _on_fire(self, event: Event) -> None:
+        # Guard: two constituents failing at the same timestamp would
+        # otherwise call fail() twice on this condition and raise
+        # SimulationError out of the event loop.
         if self.triggered:
             return
         if not event._ok:
@@ -314,7 +398,7 @@ class AllOf(_Condition):
 
 
 class Environment:
-    """The simulation environment: clock + event heap.
+    """The simulation environment: clock + event heap + same-time lane.
 
     Usage::
 
@@ -328,9 +412,23 @@ class Environment:
         env.run(until=10.0)
     """
 
+    __slots__ = ("_now", "_heap", "_lane", "_sequence")
+
+    #: Instrumented subclasses set this to False to route every
+    #: scheduling action through ``_enqueue`` and the heap, where their
+    #: overrides can observe it.  The firing order is identical either
+    #: way — both paths consume the same global sequence numbers.
+    _use_lane = True
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, Event]] = []
+        # Same-time FIFO lane: (time, sequence, event, fn) with exactly
+        # one of event/fn set.  Lane entries are always scheduled at the
+        # current time, so the lane front never trails the heap top.
+        self._lane: deque[tuple[float, int, Event | None, Callable | None]] = (
+            deque()
+        )
         self._sequence = 0
 
     @property
@@ -363,22 +461,118 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------------
     def _enqueue(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        if delay == 0.0 and self._use_lane:
+            # succeed()-at-now fast lane: skip the heap round-trip.
+            self._lane.append((self._now, sequence, event, None))
+        else:
+            heappush(self._heap, (self._now + delay, sequence, event))
+
+    def _schedule_call(self, fn: Callable[[], None], owner=None) -> None:
+        """Schedule a bare callable at the current time.
+
+        The fast-lane equivalent of enqueueing a zero-delay Event whose
+        only job is to invoke ``fn`` — used for process bootstraps and
+        already-processed-target resumes.  On instrumented environments
+        (``_use_lane`` off) the callable is wrapped in a :class:`_Call`
+        and sent through ``_enqueue`` so it stays traceable.
+        """
+        if self._use_lane:
+            sequence = self._sequence
+            self._sequence = sequence + 1
+            self._lane.append((self._now, sequence, None, fn))
+        else:
+            label = f"call:{owner.name}" if owner is not None else "call"
+            self._enqueue(_Call(self, fn, label), 0.0)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none pending."""
-        return self._heap[0][0] if self._heap else float("inf")
+        lane, heap = self._lane, self._heap
+        if lane:
+            lane_time = lane[0][0]
+            if heap and heap[0][0] < lane_time:  # pragma: no cover - guard
+                return heap[0][0]
+            return lane_time
+        return heap[0][0] if heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
+        """Process exactly one pending action (lane or heap)."""
+        lane = self._lane
+        if lane:
+            time, sequence, event, fn = lane[0]
+            heap = self._heap
+            if heap:
+                head = heap[0]
+                if head[0] < time or (head[0] == time and head[1] < sequence):
+                    heappop(heap)
+                    self._now = head[0]
+                    head[2]._run_callbacks()
+                    return
+            lane.popleft()
+            self._now = time
+            if event is not None:
+                event._run_callbacks()
+            else:
+                fn()
+            return
+        heap = self._heap
+        if not heap:
             raise SimulationError("no events to step")
-        time, _, event = heapq.heappop(self._heap)
+        time, _, event = heappop(heap)
         if time < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError("time ran backwards")
         self._now = time
         event._run_callbacks()
+
+    def _run_fast(self, limit: float, target: "Event | None") -> None:
+        """Inlined event loop for the plain environment.
+
+        One step() call per fired event is measurable overhead at kernel
+        scale, so the un-instrumented environment drains lane + heap with
+        everything held in locals.  Subclasses (which override step for
+        instrumentation) never reach this path.
+        """
+        lane, heap = self._lane, self._heap
+        lane_popleft = lane.popleft
+        while True:
+            if target is not None:
+                if target._processed:
+                    return
+                if not (lane or heap):
+                    raise SimulationError(_DEADLOCK_MESSAGE)
+            if lane:
+                entry = lane[0]
+                time = entry[0]
+                if time > limit:
+                    return
+                if heap:
+                    head = heap[0]
+                    if head[0] < time or (
+                        head[0] == time and head[1] < entry[1]
+                    ):
+                        heappop(heap)
+                        self._now = head[0]
+                        head[2]._run_callbacks()
+                        continue
+                lane_popleft()
+                self._now = time
+                event = entry[2]
+                if event is not None:
+                    event._run_callbacks()
+                else:
+                    entry[3]()
+                continue
+            if heap:
+                head = heap[0]
+                time = head[0]
+                if time > limit:
+                    return
+                heappop(heap)
+                self._now = time
+                head[2]._run_callbacks()
+                continue
+            return
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -387,22 +581,25 @@ class Environment:
         that simulated time) or an :class:`Event` (run until it fires, and
         return its value — raising its exception if it failed).
         """
+        plain = type(self) is Environment
         if isinstance(until, Event):
             target = until
-            while not target._processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "event loop drained before target event fired "
-                        "(deadlock: a process is waiting on an event nobody "
-                        "will trigger)"
-                    )
-                self.step()
+            if plain:
+                self._run_fast(float("inf"), target)
+            else:
+                while not target._processed:
+                    if not (self._lane or self._heap):
+                        raise SimulationError(_DEADLOCK_MESSAGE)
+                    self.step()
             if target._ok:
                 return target._value
             raise target._value
         limit = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= limit:
-            self.step()
+        if plain:
+            self._run_fast(limit, None)
+        else:
+            while (self._lane or self._heap) and self.peek() <= limit:
+                self.step()
         if until is not None and limit > self._now:
             self._now = limit
         return None

@@ -1,0 +1,248 @@
+"""``python -m repro bench`` — the repo's microbenchmark suite.
+
+Two groups of measurements, written as one JSON document (default
+``BENCH_2.json`` at the current directory):
+
+* **kernel** — DES event-loop throughput in events/second for the three
+  hot shapes the fast paths target: a pure timeout chain (heap path), a
+  zero-delay succeed chain (same-time lane path) and a two-process
+  ping-pong (process switch path);
+* **sweeps** — wall-clock for a Figure 3/4-style instance-type sweep per
+  application, serial (``jobs=1``), parallel (``jobs=N``) and warm-cache
+  (second run against a fresh temporary cache), plus the derived
+  speedups.
+
+``--smoke`` shrinks every size so the suite finishes in seconds — CI
+runs that variant to catch wiring regressions, not to publish numbers.
+
+This module measures *real* wall-clock time by design; it lives outside
+the simulation packages, where the determinism linter's RPR001 rule
+does not apply, and every read is annotated anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sim.engine import Environment
+from repro.sweep.cache import ResultCache
+from repro.sweep.points import point_for
+from repro.sweep.runner import resolve_jobs, run_points
+
+__all__ = ["main", "run_bench"]
+
+DEFAULT_OUTPUT = "BENCH_2.json"
+SCHEMA = "repro-bench-v2"
+
+
+def _clock() -> float:
+    return time.perf_counter()  # repro: noqa[RPR001] real benchmark timer
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best (minimum) wall-clock of ``repeats`` calls, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = _clock()
+        fn()
+        best = min(best, _clock() - start)
+    return best
+
+
+# -- kernel microbenchmarks ------------------------------------------------
+
+def _timeout_chain(n: int) -> None:
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def _zero_delay_chain(n: int) -> None:
+    env = Environment()
+
+    def proc(env):
+        for _ in range(n):
+            event = env.event()
+            event.succeed()
+            yield event
+
+    env.process(proc(env))
+    env.run()
+
+
+def _ping_pong(n: int) -> None:
+    env = Environment()
+    box = {"event": env.event()}
+
+    def ping(env):
+        for _ in range(n):
+            waited = box["event"]
+            box["event"] = env.event()
+            waited.succeed()
+            yield env.timeout(1.0)
+
+    def pong(env):
+        for _ in range(n):
+            yield box["event"]
+
+    env.process(ping(env))
+    env.process(pong(env))
+    env.run()
+
+
+def _kernel_bench(smoke: bool) -> dict:
+    n = 2_000 if smoke else 50_000
+    repeats = 2 if smoke else 5
+    shapes = {
+        # events fired per run: chains fire ~2 events per iteration
+        # (the scheduled event + the process resume slot).
+        "timeout_chain": (_timeout_chain, 2 * n),
+        "zero_delay_chain": (_zero_delay_chain, 2 * n),
+        "ping_pong": (_ping_pong, 4 * n),
+    }
+    out = {}
+    for name, (fn, events) in shapes.items():
+        seconds = _best_of(lambda: fn(n), repeats)
+        out[name] = {
+            "iterations": n,
+            "events": events,
+            "best_s": seconds,
+            "events_per_s": events / seconds if seconds > 0 else None,
+        }
+    return out
+
+
+# -- sweep benchmarks ------------------------------------------------------
+
+_EC2_SHAPES = [("L", 8, 2), ("XL", 4, 4), ("HCXL", 2, 8), ("HM4XL", 2, 8)]
+
+
+def _sweep_points(app_name: str, n_files: int):
+    from repro.cloud.failures import FaultPlan
+    from repro.core.application import get_application
+    from repro.core.backends import make_backend
+
+    app = get_application(app_name)
+    if app_name == "cap3":
+        from repro.workloads.genome import cap3_task_specs
+
+        tasks = cap3_task_specs(n_files, reads_per_file=200)
+    elif app_name == "blast":
+        from repro.workloads.protein import blast_task_specs
+
+        tasks = blast_task_specs(n_files, inhomogeneous_base=False, seed=3)
+    else:
+        from repro.workloads.pubchem import gtm_task_specs
+
+        tasks = gtm_task_specs(n_files)
+    backends = [
+        make_backend(
+            "ec2",
+            instance_type=itype,
+            n_instances=n,
+            workers_per_instance=w,
+            fault_plan=FaultPlan.none(),
+            seed=17,
+        )
+        for itype, n, w in _EC2_SHAPES
+    ]
+    return [point_for(app, backend, tasks) for backend in backends]
+
+
+def _sweep_bench(app_name: str, n_files: int, jobs: int) -> dict:
+    points = _sweep_points(app_name, n_files)
+
+    start = _clock()  # repro: noqa[RPR001] real benchmark timer
+    serial = run_points(points, jobs=1, cache=None)
+    serial_s = _clock() - start
+
+    start = _clock()
+    parallel = run_points(points, jobs=jobs, cache=None)
+    parallel_s = _clock() - start
+    if [r.to_dict() for r in serial] != [r.to_dict() for r in parallel]:
+        raise AssertionError(
+            f"{app_name}: parallel sweep diverged from serial sweep"
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        start = _clock()
+        run_points(points, jobs=1, cache=cache)
+        cold_s = _clock() - start
+        start = _clock()
+        warm = run_points(points, jobs=1, cache=cache)
+        warm_s = _clock() - start
+        stats = cache.stats()
+        if stats.hits != len(points):
+            raise AssertionError(
+                f"{app_name}: warm run hit {stats.hits}/{len(points)} points"
+            )
+    if [r.to_dict() for r in warm] != [r.to_dict() for r in serial]:
+        raise AssertionError(
+            f"{app_name}: cached sweep diverged from serial sweep"
+        )
+
+    return {
+        "n_files": n_files,
+        "n_points": len(points),
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "cache_cold_s": cold_s,
+        "cache_warm_s": warm_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "warm_cache_speedup": cold_s / warm_s if warm_s > 0 else None,
+    }
+
+
+def run_bench(
+    smoke: bool = False, jobs: "int | None" = None, apps=("cap3", "blast", "gtm")
+) -> dict:
+    """Run the full suite and return the report dict."""
+    jobs = resolve_jobs(jobs)
+    n_files = 16 if smoke else 200
+    report = {
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "kernel": _kernel_bench(smoke),
+        "sweeps": {
+            app: _sweep_bench(app, n_files, jobs) for app in apps
+        },
+    }
+    return report
+
+
+def main(args, out) -> int:
+    """Handler for ``python -m repro bench``."""
+    report = run_bench(smoke=args.smoke, jobs=args.jobs)
+    path = Path(args.output)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    kernel = report["kernel"]
+    rows = [
+        f"  kernel {name}: {spec['events_per_s']:,.0f} events/s"
+        for name, spec in kernel.items()
+    ]
+    for app, sweep in report["sweeps"].items():
+        rows.append(
+            f"  sweep {app}: serial {sweep['serial_s']:.3f}s, "
+            f"parallel(x{sweep['jobs']}) {sweep['parallel_s']:.3f}s "
+            f"({sweep['parallel_speedup']:.2f}x), "
+            f"warm cache {sweep['cache_warm_s']:.4f}s "
+            f"({sweep['warm_cache_speedup']:.1f}x)"
+        )
+    print("benchmark report:", file=out)
+    for row in rows:
+        print(row, file=out)
+    print(f"written to {path}", file=out)
+    return 0

@@ -1,0 +1,162 @@
+"""Content-addressed result cache for sweep points.
+
+Results live as small JSON files under ``.repro-cache/<kk>/<key>.json``
+(``kk`` = first two hex chars of the key, to keep directories shallow).
+Each file stores both the full fingerprint and the result; reads verify
+the stored fingerprint against the requested one so a (vanishingly
+unlikely) hash collision or a corrupted file degrades to a miss, never
+to a wrong answer.  Writes go through a temp file + ``os.replace`` so a
+crash mid-write cannot leave a truncated entry behind.
+
+Escape hatches: ``REPRO_NO_CACHE=1`` disables caching wherever
+:func:`default_cache` is consulted, and ``REPRO_CACHE_DIR`` relocates
+the store.  ``python -m repro cache {stats,clear}`` inspects and empties
+it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sweep.fingerprint import cache_key, point_fingerprint
+from repro.sweep.points import PointResult, PointSpec
+
+__all__ = ["CacheStats", "ResultCache", "default_cache"]
+
+DEFAULT_CACHE_DIRNAME = ".repro-cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime, plus a
+    snapshot of what is on disk."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"entries: {self.entries}\n"
+            f"size: {self.bytes} bytes\n"
+            f"hits: {self.hits}\n"
+            f"misses: {self.misses}\n"
+            f"stores: {self.stores}"
+        )
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`PointResult` files."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keying -----------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup / store ---------------------------------------------------
+    def get(self, spec: PointSpec) -> "PointResult | None":
+        fingerprint = point_fingerprint(spec)
+        path = self._path_for(cache_key(fingerprint))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            # Key collision or corrupted entry: treat as a miss and let
+            # the fresh result overwrite it.
+            self.misses += 1
+            return None
+        try:
+            result = PointResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: PointSpec, result: PointResult) -> None:
+        fingerprint = point_fingerprint(spec)
+        path = self._path_for(cache_key(fingerprint))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"fingerprint": fingerprint, "result": result.to_dict()},
+            sort_keys=True,
+            indent=2,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    # -- maintenance ------------------------------------------------------
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+            try:
+                path.parent.rmdir()
+            except OSError:
+                pass  # not empty yet / already gone
+        return removed
+
+    def stats(self) -> CacheStats:
+        paths = self._entry_paths()
+        size = 0
+        for path in paths:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            entries=len(paths),
+            bytes=size,
+        )
+
+
+def default_cache(root: "str | Path | None" = None) -> "ResultCache | None":
+    """The process-wide cache policy.
+
+    Returns ``None`` (caching off) when ``REPRO_NO_CACHE`` is set to a
+    non-empty value, else a cache rooted at ``root``, ``REPRO_CACHE_DIR``,
+    or ``./.repro-cache`` in that order.
+    """
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIRNAME
+    return ResultCache(root)

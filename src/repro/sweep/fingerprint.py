@@ -1,0 +1,95 @@
+"""Content-addressed fingerprints for sweep points.
+
+A point's cache key must change whenever anything that could change its
+result changes: the application name and every perf-model coefficient,
+the backend kind and every field of its configuration (instance type,
+shape, seed, fault plan, ...), the task set, and a repro version salt
+(bumped when the simulator's semantics change so stale caches
+self-invalidate).  Everything is canonicalized to plain JSON types and
+hashed with SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.task import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sweep.points import PointSpec
+
+__all__ = [
+    "CACHE_SALT",
+    "cache_key",
+    "canonicalize",
+    "point_fingerprint",
+    "task_digest",
+]
+
+#: Version salt baked into every cache key.  Bump the trailing number
+#: whenever the simulator's observable behaviour changes (perf-model
+#: semantics, billing rules, scheduling policies) so previously cached
+#: results miss instead of silently serving stale data.
+CACHE_SALT = "repro-sweep-v1"
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-stable plain data, deterministically.
+
+    Dataclasses become ``{"field": ...}`` dicts (recursing by declared
+    field order), sets/frozensets become sorted lists, tuples become
+    lists.  Anything already JSON-representable passes through.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonicalize(getattr(value, f.name))
+            for f in fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Last resort for exotic config payloads: a stable repr.  Callables
+    # land here too — they cannot be fingerprinted reliably, so points
+    # carrying them should not be cached in the first place.
+    return repr(value)
+
+
+def task_digest(tasks: Iterable[TaskSpec]) -> str:
+    """SHA-256 over every field of every task, in task order."""
+    hasher = hashlib.sha256()
+    for task in tasks:
+        hasher.update(
+            (
+                f"{task.task_id}\x1f{task.input_key}\x1f{task.output_key}"
+                f"\x1f{task.input_size}\x1f{task.output_size}"
+                f"\x1f{task.work_units!r}\n"
+            ).encode("utf-8")
+        )
+    return hasher.hexdigest()
+
+
+def point_fingerprint(spec: "PointSpec") -> dict:
+    """The full canonical key dict for one sweep point."""
+    return {
+        "salt": CACHE_SALT,
+        "app": canonicalize(spec.app),
+        "backend": {
+            "kind": spec.backend_kind,
+            "config": canonicalize(spec.backend_config),
+        },
+        "tasks": {"digest": task_digest(spec.tasks), "count": len(spec.tasks)},
+    }
+
+
+def cache_key(fingerprint: dict) -> str:
+    """Content address: SHA-256 of the canonical JSON of the fingerprint."""
+    text = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -1,0 +1,219 @@
+"""Declarative sweep points: picklable, fingerprintable, rebuildable.
+
+A sweep point is one ``(app, backend, tasks)`` simulation.  To fan
+points out over worker processes they must be picklable, and to cache
+their results they must be fingerprintable — so a :class:`PointSpec`
+carries *descriptions* (the app's perf model and the backend's frozen
+config dataclass) rather than live objects, and rebuilds both inside
+:func:`run_point`.  Backends the registry doesn't know how to describe
+(test doubles, the real-execution local backend whose app needs an
+executable factory) fall back to :class:`InlinePoint`: executed in the
+parent process against the original objects, never cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.perfmodels import TaskPerfModel
+from repro.core.application import Application
+from repro.core.backends import (
+    ClassicCloudBackend,
+    DryadLinqBackend,
+    HadoopBackend,
+)
+from repro.core.task import TaskSpec
+
+__all__ = [
+    "AppSpec",
+    "InlinePoint",
+    "PointResult",
+    "PointSpec",
+    "point_for",
+    "run_point",
+]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Everything a *simulated* backend needs of an Application.
+
+    Deliberately excludes ``executable_factory`` (unused by simulation,
+    frequently an unpicklable closure); points whose backend would call
+    it must go inline instead.
+    """
+
+    name: str
+    perf_model: TaskPerfModel
+    preload_bytes: int
+    preload_extract_seconds: float
+    threads_per_worker: int
+
+    @classmethod
+    def from_application(cls, app: Application) -> "AppSpec":
+        return cls(
+            name=app.name,
+            perf_model=app.perf_model,
+            preload_bytes=app.preload_bytes,
+            preload_extract_seconds=app.preload_extract_seconds,
+            threads_per_worker=app.threads_per_worker,
+        )
+
+    def build(self) -> Application:
+        return Application(
+            name=self.name,
+            perf_model=self.perf_model,
+            preload_bytes=self.preload_bytes,
+            preload_extract_seconds=self.preload_extract_seconds,
+            threads_per_worker=self.threads_per_worker,
+        )
+
+
+#: Backend classes the spec layer can describe and rebuild from config.
+_BACKEND_KINDS = {
+    ClassicCloudBackend: "classiccloud",
+    HadoopBackend: "hadoop",
+    DryadLinqBackend: "dryadlinq",
+}
+
+_BACKEND_BUILDERS = {
+    "classiccloud": ClassicCloudBackend,
+    "hadoop": HadoopBackend,
+    "dryadlinq": DryadLinqBackend,
+}
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One independent sweep point, ready to ship to a worker process."""
+
+    app: AppSpec
+    backend_kind: str
+    backend_config: object  # the backend's frozen config dataclass
+    tasks: tuple[TaskSpec, ...]
+    label: str
+
+    def build_backend(self):
+        try:
+            builder = _BACKEND_BUILDERS[self.backend_kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend kind {self.backend_kind!r}; "
+                f"known: {sorted(_BACKEND_BUILDERS)}"
+            ) from None
+        return builder(self.backend_config)
+
+
+@dataclass
+class InlinePoint:
+    """A point that must run in-process against live objects (uncached)."""
+
+    app: Application
+    backend: object
+    tasks: list[TaskSpec]
+    label: str
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """The plain-data outcome of one point — what gets cached and
+    shipped back across the process boundary."""
+
+    label: str
+    backend: str
+    cores: int
+    n_tasks: int
+    makespan_s: float
+    t1_s: float
+    billed: bool
+    compute_cost: float
+    amortized_cost: float
+    total_cost: float
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "backend": self.backend,
+            "cores": self.cores,
+            "n_tasks": self.n_tasks,
+            "makespan_s": self.makespan_s,
+            "t1_s": self.t1_s,
+            "billed": self.billed,
+            "compute_cost": self.compute_cost,
+            "amortized_cost": self.amortized_cost,
+            "total_cost": self.total_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PointResult":
+        return cls(
+            label=data["label"],
+            backend=data["backend"],
+            cores=data["cores"],
+            n_tasks=data["n_tasks"],
+            makespan_s=data["makespan_s"],
+            t1_s=data["t1_s"],
+            billed=data["billed"],
+            compute_cost=data["compute_cost"],
+            amortized_cost=data["amortized_cost"],
+            total_cost=data["total_cost"],
+        )
+
+
+def _label_for(backend) -> str:
+    """The paper's axis label: the config's label if it has one."""
+    return getattr(getattr(backend, "config", None), "label", backend.name)
+
+
+def point_for(
+    app: Application, backend, tasks: list[TaskSpec]
+) -> "PointSpec | InlinePoint":
+    """Describe ``(app, backend, tasks)`` as a spec if possible.
+
+    Returns a picklable :class:`PointSpec` for the simulated backends,
+    or an :class:`InlinePoint` for anything the registry cannot rebuild
+    from plain data.
+    """
+    kind = _BACKEND_KINDS.get(type(backend))
+    if kind is None:
+        return InlinePoint(
+            app=app, backend=backend, tasks=list(tasks),
+            label=_label_for(backend),
+        )
+    return PointSpec(
+        app=AppSpec.from_application(app),
+        backend_kind=kind,
+        backend_config=backend.config,
+        tasks=tuple(tasks),
+        label=_label_for(backend),
+    )
+
+
+def _measure(backend, app: Application, tasks: list[TaskSpec], label: str):
+    result = backend.run(app, tasks)
+    t1 = backend.estimate_sequential_time(app, tasks)
+    billing = result.billing
+    return PointResult(
+        label=label,
+        backend=backend.name,
+        cores=backend.total_cores,
+        n_tasks=len(tasks),
+        makespan_s=result.makespan_seconds,
+        t1_s=t1,
+        billed=billing is not None,
+        compute_cost=billing.compute_cost if billing else 0.0,
+        amortized_cost=billing.total_amortized_cost if billing else 0.0,
+        total_cost=billing.total_cost if billing else 0.0,
+    )
+
+
+def run_point(spec: PointSpec) -> PointResult:
+    """Execute one spec'd point (this is what worker processes run)."""
+    return _measure(
+        spec.build_backend(), spec.app.build(), list(spec.tasks), spec.label
+    )
+
+
+def run_inline(point: InlinePoint) -> PointResult:
+    """Execute an inline point against its live objects."""
+    return _measure(point.backend, point.app, point.tasks, point.label)

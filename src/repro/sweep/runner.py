@@ -1,0 +1,98 @@
+"""Fan sweep points out over worker processes, deterministically.
+
+:func:`run_points` takes a mixed list of :class:`~repro.sweep.points.
+PointSpec` and :class:`~repro.sweep.points.InlinePoint` and returns one
+:class:`~repro.sweep.points.PointResult` per input, **in input order**,
+regardless of which worker finishes first.  Specs are looked up in the
+cache first (when one is given), the remaining ones are executed — in a
+``ProcessPoolExecutor`` when more than one job is allowed, serially
+in-process otherwise — and freshly computed results are stored back.
+Inline points always run in the parent process and are never cached.
+
+Caching is bypassed entirely while the runtime sanitizer is active
+(``REPRO_SANITIZE``): sanitized runs exist to *observe* the simulation,
+and serving a cached result would skip the instrumented run.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sweep.cache import ResultCache
+from repro.sweep.points import (
+    InlinePoint,
+    PointResult,
+    PointSpec,
+    run_inline,
+    run_point,
+)
+
+__all__ = ["resolve_jobs", "run_points"]
+
+
+def resolve_jobs(jobs: "int | None" = None) -> int:
+    """Worker-count policy: explicit argument > ``REPRO_JOBS`` env var >
+    ``os.cpu_count()``; always at least 1."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _sanitizing() -> bool:
+    return bool(os.environ.get("REPRO_SANITIZE"))
+
+
+def run_points(
+    points: "list[PointSpec | InlinePoint]",
+    *,
+    jobs: "int | None" = None,
+    cache: "ResultCache | None" = None,
+) -> list[PointResult]:
+    """Execute every point; results come back in input order."""
+    jobs = resolve_jobs(jobs)
+    use_cache = cache is not None and not _sanitizing()
+
+    results: "list[PointResult | None]" = [None] * len(points)
+    pending: "list[tuple[int, PointSpec]]" = []
+    for index, point in enumerate(points):
+        if isinstance(point, PointSpec):
+            if use_cache:
+                hit = cache.get(point)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+            pending.append((index, point))
+        else:
+            # Inline points hold live objects; run them here, uncached.
+            results[index] = run_inline(point)
+
+    if len(pending) <= 1 or jobs == 1:
+        for index, spec in pending:
+            results[index] = run_point(spec)
+            if use_cache:
+                cache.put(spec, results[index])
+        return results  # type: ignore[return-value]
+
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (index, spec, pool.submit(run_point, spec))
+            for index, spec in pending
+        ]
+        # Collect in submission order: result ordering is decided by the
+        # input list, never by completion order.
+        for index, spec, future in futures:
+            results[index] = future.result()
+            if use_cache:
+                cache.put(spec, results[index])
+    return results  # type: ignore[return-value]

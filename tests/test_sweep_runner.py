@@ -1,0 +1,220 @@
+"""Sweep runner: parallel/serial identity, ordering, fallbacks, policy.
+
+The load-bearing property is satellite-grade: the Fig 3/4 Cap3 instance
+study must return *identical* rows at ``jobs=4`` and ``jobs=1``, and
+both must match the pre-sweep sequential path byte-for-byte.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cloud.failures import FaultPlan
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.core.experiment import InstanceStudyRow, instance_type_study
+from repro.core.metrics import average_time_per_file_per_core
+from repro.sweep.cache import ResultCache
+from repro.sweep.points import InlinePoint, PointSpec, point_for
+from repro.sweep.runner import resolve_jobs, run_points
+from repro.workloads.genome import cap3_task_specs
+
+# Fig 3/4 shapes, scaled down to keep the study fast.
+_SHAPES = [("L", 8, 2), ("XL", 4, 4), ("HCXL", 2, 8), ("HM4XL", 2, 8)]
+
+
+def _backends():
+    return [
+        make_backend(
+            "ec2",
+            instance_type=itype,
+            n_instances=n,
+            workers_per_instance=w,
+            fault_plan=FaultPlan.none(),
+            seed=17,
+        )
+        for itype, n, w in _SHAPES
+    ]
+
+
+def _tasks():
+    return cap3_task_specs(24, reads_per_file=200)
+
+
+def _pre_pr_rows(app, backends, tasks):
+    """The seed repo's sequential instance_type_study, verbatim."""
+    rows = []
+    for backend in backends:
+        result = backend.run(app, tasks)
+        billing = result.billing
+        label = getattr(
+            getattr(backend, "config", None), "label", backend.name
+        )
+        rows.append(
+            InstanceStudyRow(
+                label=label,
+                compute_time_s=result.makespan_seconds,
+                compute_cost=billing.compute_cost if billing else 0.0,
+                amortized_cost=(
+                    billing.total_amortized_cost if billing else 0.0
+                ),
+                total_cost=billing.total_cost if billing else 0.0,
+                per_core_time_s=average_time_per_file_per_core(
+                    result.makespan_seconds, backend.total_cores, len(tasks)
+                ),
+            )
+        )
+    return rows
+
+
+class TestParallelSerialIdentity:
+    def test_fig3_4_study_identical_at_any_job_count(self):
+        app = get_application("cap3")
+        tasks = _tasks()
+        serial = instance_type_study(app, _backends(), tasks, jobs=1)
+        parallel = instance_type_study(app, _backends(), tasks, jobs=4)
+        reference = _pre_pr_rows(app, _backends(), tasks)
+        assert serial == parallel
+        assert serial == reference
+        # Byte-for-byte, not merely approximately equal.
+        assert repr(serial) == repr(reference)
+
+    def test_scalability_study_identical_at_any_job_count(self):
+        from repro.core.experiment import scalability_study
+
+        app = get_application("cap3")
+
+        def factory(cores):
+            return make_backend(
+                "ec2",
+                n_instances=cores // 8,
+                fault_plan=FaultPlan.none(),
+                seed=17,
+            )
+
+        def tasks_for(cores):
+            return cap3_task_specs(cores, reads_per_file=200)
+
+        serial = scalability_study(app, factory, [16, 32], tasks_for, jobs=1)
+        parallel = scalability_study(
+            app, factory, [16, 32], tasks_for, jobs=4
+        )
+        assert serial == parallel
+
+
+class TestRunPoints:
+    def test_results_come_back_in_input_order(self):
+        app = get_application("cap3")
+        tasks = _tasks()
+        points = [point_for(app, b, tasks) for b in _backends()]
+        results = run_points(points, jobs=4)
+        assert [r.label for r in results] == [
+            getattr(b.config, "label") for b in _backends()
+        ]
+
+    def test_cache_hits_skip_execution(self, tmp_path):
+        app = get_application("cap3")
+        tasks = _tasks()
+        points = [point_for(app, b, tasks) for b in _backends()]
+        cache = ResultCache(tmp_path)
+        cold = run_points(points, jobs=1, cache=cache)
+        warm = run_points(points, jobs=1, cache=cache)
+        assert cold == warm
+        stats = cache.stats()
+        assert stats.stores == len(points)
+        assert stats.hits == len(points)
+
+    def test_mixed_hits_and_misses_keep_order(self, tmp_path):
+        app = get_application("cap3")
+        tasks = _tasks()
+        points = [point_for(app, b, tasks) for b in _backends()]
+        cache = ResultCache(tmp_path)
+        # Pre-warm only the middle two points.
+        run_points(points[1:3], jobs=1, cache=cache)
+        results = run_points(points, jobs=4, cache=cache)
+        assert [r.label for r in results] == [p.label for p in points]
+
+    def test_sanitize_env_bypasses_cache(self, tmp_path, monkeypatch):
+        app = get_application("cap3")
+        tasks = _tasks()
+        spec = point_for(app, _backends()[0], tasks)
+        cache = ResultCache(tmp_path)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        run_points([spec], jobs=1, cache=cache)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (0, 0, 0)
+        assert stats.entries == 0
+
+
+class _StubBackend:
+    """A backend the spec registry cannot describe."""
+
+    name = "stub"
+    total_cores = 3
+
+    def run(self, app, tasks):
+        from repro.core.task import RunResult
+
+        return RunResult(
+            backend=self.name,
+            app_name=app.name,
+            n_tasks=len(tasks),
+            makespan_seconds=42.0,
+        )
+
+    def estimate_sequential_time(self, app, tasks):
+        return 126.0
+
+
+class TestInlineFallback:
+    def test_unknown_backend_goes_inline(self):
+        app = get_application("cap3")
+        point = point_for(app, _StubBackend(), _tasks())
+        assert isinstance(point, InlinePoint)
+
+    def test_inline_points_run_uncached(self, tmp_path):
+        app = get_application("cap3")
+        point = point_for(app, _StubBackend(), _tasks())
+        cache = ResultCache(tmp_path)
+        results = run_points([point], jobs=4, cache=cache)
+        assert results[0].makespan_s == 42.0
+        assert results[0].cores == 3
+        assert results[0].billed is False
+        assert cache.stats().stores == 0
+
+    def test_simulated_backends_are_specable(self):
+        app = get_application("cap3")
+        tasks = _tasks()
+        for name, kwargs in (
+            ("ec2", {"fault_plan": FaultPlan.none()}),
+            ("azure", {"fault_plan": FaultPlan.none()}),
+            ("hadoop", {}),
+            ("dryadlinq", {}),
+        ):
+            backend = make_backend(name, **kwargs)
+            assert isinstance(point_for(app, backend, tasks), PointSpec), name
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(None) == 7
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == max(1, os.cpu_count() or 1)
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-5) == 1
+
+    def test_garbage_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
