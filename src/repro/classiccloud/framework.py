@@ -14,7 +14,7 @@ cost but not for time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.apps.perfmodels import task_runtime_seconds
 from repro.cloud.billing import CostMeter
@@ -30,6 +30,7 @@ from repro.cloud.queue import MessageQueue, StaleReceiptError
 from repro.cloud.storage import BlobNotFound, BlobStore
 from repro.core.application import Application
 from repro.core.task import RunResult, TaskRecord, TaskSpec
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import Environment, Interrupt, make_environment
 from repro.sim.rng import RngRegistry
 
@@ -186,6 +187,10 @@ class _SimRun:
         self.config = config
         self.app = app
         self.tasks = tasks
+        # Observability bundle captured once on the driving thread; the
+        # cloud services below pick up the same ambient context.
+        self.obs = _current_obs()
+        self.tracer = self.obs.tracer
         self.env = make_environment(sanitize=True if config.sanitize else None)
         self.rng = RngRegistry(config.seed)
         prices = AWS_PRICES if config.provider == "aws" else AZURE_PRICES
@@ -263,6 +268,7 @@ class _SimRun:
         makespan = self.env.run(until=driver)
         self.cloud.terminate_all()
         report = self.meter.report()
+        self._publish_run_metrics(makespan)
         return RunResult(
             backend=f"classiccloud-{self.config.provider}",
             app_name=self.app.name,
@@ -294,7 +300,22 @@ class _SimRun:
                 if self.dead_letter_queue is not None
                 else set()
             ),
+            queue_stats=asdict(self.task_queue.stats),
         )
+
+    def _publish_run_metrics(self, makespan: float) -> None:
+        """Per-worker busy fractions + kernel event throughput."""
+        metrics = self.obs.metrics
+        metrics.counter("sim.events").inc(self.env.events_scheduled)
+        if makespan <= 0:
+            return
+        busy: dict[str, float] = {}
+        for record in self.records:
+            busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
+        for worker, seconds in busy.items():
+            metrics.gauge(f"worker.{worker}.busy_fraction").set(
+                min(1.0, seconds / makespan)
+            )
 
     def _driver(self):
         config = self.config
@@ -458,6 +479,8 @@ class _SimRun:
         config = self.config
         rng = self.rng.stream(f"{name}-jitter")
         straggle_rng = self.rng.stream(f"{name}-straggle")
+        tracer = self.tracer
+        wait_start = self.env.now
         try:
             while len(self.completed) < len(self.tasks):
                 msg = yield self.env.process(self.task_queue.receive())
@@ -565,5 +588,27 @@ class _SimRun:
                         won=not was_duplicate,
                     )
                 )
+                # Spans mirror the record exactly (same env.now readings,
+                # emitted with no intervening yields), so Chrome-trace
+                # phase totals agree with analysis.phase_breakdown.
+                if tracer.enabled:
+                    tid = task.task_id
+                    tracer.add(
+                        "task.queue_wait", track=name,
+                        start=wait_start, end=started, task_id=tid,
+                    )
+                    tracer.add(
+                        "task.download", track=name,
+                        start=t0, end=t0 + download_time, task_id=tid,
+                    )
+                    tracer.add(
+                        "task.compute", track=name,
+                        start=t1, end=t1 + compute_time, task_id=tid,
+                    )
+                    tracer.add(
+                        "task.upload", track=name,
+                        start=t2, end=t2 + upload_time, task_id=tid,
+                    )
+                wait_start = self.env.now
         except Interrupt:
             return  # crashed: in-flight message reappears after timeout

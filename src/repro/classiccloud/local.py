@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.apps.executables import Executable
 from repro.classiccloud.localstore import LocalBlobStore
 from repro.core.task import RunResult, TaskRecord, TaskSpec
+from repro.obs.context import current as _current_obs
 
 __all__ = ["LocalClassicCloud", "LocalMessage", "LocalQueue"]
 
@@ -185,11 +186,15 @@ class LocalClassicCloud:
         lock = threading.Lock()
         done = threading.Event()
         errors: list[BaseException] = []
+        # Captured on the driving thread; worker threads close over it.
+        obs = _current_obs()
+        tracer = obs.tracer
         start = time.monotonic()
 
         def worker(index: int) -> None:
             receives = 0
             crash_at = self.crash_plan.get(index)
+            wait_start = time.monotonic() - start
             while not done.is_set():
                 message = queue.receive()
                 if message is None:
@@ -213,6 +218,18 @@ class LocalClassicCloud:
                     done.set()
                     return
                 deleted = queue.delete(message)
+                if tracer.enabled:
+                    track = f"local-{index}"
+                    tracer.add(
+                        "task.queue_wait", track=track, domain="wall",
+                        start=wait_start, end=started, task_id=task.task_id,
+                    )
+                    tracer.add(
+                        "task.compute", track=track, domain="wall",
+                        start=t0 - start, end=t0 - start + compute,
+                        task_id=task.task_id, attempt=message.receive_count,
+                    )
+                wait_start = time.monotonic() - start
                 with lock:
                     completed.add(task.task_id)
                     records.append(

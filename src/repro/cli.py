@@ -12,6 +12,8 @@ Commands:
   written to ``BENCH_2.json`` (:mod:`repro.sweep.bench`);
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed sweep result cache under ``.repro-cache/``;
+* ``trace`` — validate and summarize a Chrome ``trace_event`` JSON
+  exported by ``run --trace`` (:mod:`repro.obs`);
 * ``lint`` — the determinism linter over the simulation sources
   (:mod:`repro.lint`).
 """
@@ -90,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache", action="store_true",
         help="skip the result cache under .repro-cache/",
+    )
+    run_parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record spans/metrics and export a Chrome trace_event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev); forces an "
+        "in-process, uncached run",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="validate and summarize an exported Chrome trace"
+    )
+    trace_parser.add_argument(
+        "trace", help="trace JSON written by 'run --trace'"
     )
 
     bench_parser = sub.add_parser(
@@ -240,17 +255,37 @@ def _cmd_run(args, out) -> int:
     from repro.sweep.points import InlinePoint, point_for, run_inline
     from repro.sweep.runner import run_points
 
-    if args.sanitize:
-        # The sanitizer report needs the live backend's event loop, so
+    obs = None
+    if args.trace or args.sanitize:
+        # Tracing needs the span stream of this process and the
+        # sanitizer report needs the live backend's event loop, so
         # run in-process and uncached.
         point = InlinePoint(
             app=app, backend=backend, tasks=tasks, label=backend.name
         )
-        r = run_inline(point)
+        if args.trace:
+            from repro.obs import Observability, observe
+
+            obs = Observability.make(label=f"{args.app}-{args.backend}")
+            with observe(obs):
+                r = run_inline(point)
+        else:
+            r = run_inline(point)
     else:
         cache = None if args.no_cache else default_cache()
+
+        def show_progress(event) -> None:
+            print(
+                f"[{event.index + 1}/{event.total}] "
+                f"{event.label}: {event.status}",
+                file=out,
+            )
+
         r = run_points(
-            [point_for(app, backend, tasks)], jobs=args.jobs, cache=cache
+            [point_for(app, backend, tasks)],
+            jobs=args.jobs,
+            cache=cache,
+            progress=show_progress,
         )[0]
     rows = [
         ["backend", r.backend],
@@ -280,6 +315,45 @@ def _cmd_run(args, out) -> int:
             print(file=out)
             print("sanitizer report:", file=out)
             print(env.sanitizer_report().summary(), file=out)
+    if args.trace:
+        from repro.obs import summarize_chrome_trace, write_chrome_trace
+
+        document = write_chrome_trace(args.trace, obs)
+        print(file=out)
+        print(summarize_chrome_trace(document), file=out)
+        print(file=out)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(document['traceEvents'])} events; open in "
+            "chrome://tracing or ui.perfetto.dev)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    import json
+
+    from repro.obs import summarize_chrome_trace, validate_chrome_trace
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no such trace {args.trace!r}", file=out)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.trace} is not JSON: {exc}", file=out)
+        return 2
+    errors = validate_chrome_trace(document)
+    if errors:
+        print(f"{args.trace}: invalid Chrome trace", file=out)
+        for error in errors:
+            print(f"  - {error}", file=out)
+        return 2
+    print(f"{args.trace}: valid Chrome trace", file=out)
+    print(file=out)
+    print(summarize_chrome_trace(document), file=out)
     return 0
 
 
@@ -375,11 +449,12 @@ def _cmd_analyze(args, out) -> int:
     for phase, fraction in phase_breakdown(result).items():
         rows.append([f"time in {phase}", f"{100 * fraction:.1f}%"])
     utilization = worker_utilization(result)
-    rows.append(
-        ["worker utilization",
-         f"min {min(utilization.values()):.2f} / "
-         f"max {max(utilization.values()):.2f}"]
-    )
+    if utilization:
+        rows.append(
+            ["worker utilization",
+             f"min {min(utilization.values()):.2f} / "
+             f"max {max(utilization.values()):.2f}"]
+        )
     print(format_table(["metric", "value"], rows,
                        title=f"trace: {args.trace}"), file=out)
     print(file=out)
@@ -435,6 +510,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_catalog(out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "cost":
         return _cmd_cost(args, out)
     if args.command == "bench":

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cloud.billing import CostMeter
 from repro.cloud.instance_types import InstanceType
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 
@@ -86,6 +87,15 @@ class CloudProvider:
         )
         self.instances: list[VmInstance] = []
         self._counter = 0
+        obs = _current_obs()
+        self._tracer = obs.tracer
+        self._m_provisioned = obs.metrics.counter(
+            f"compute.{provider}.instances_provisioned"
+        )
+        self._m_terminated = obs.metrics.counter(
+            f"compute.{provider}.instances_terminated"
+        )
+        self._m_boot = obs.metrics.histogram(f"compute.{provider}.boot_seconds")
 
     def provision(
         self, instance_type: InstanceType, count: int
@@ -104,7 +114,18 @@ class CloudProvider:
             raise ValueError("count must be >= 1")
         # Boot times are mildly variable; take the max across the fleet.
         boot_times = self.boot_time_s * self.rng.uniform(0.8, 1.4, size=count)
+        boot_start = self.env.now
         yield self.env.timeout(float(boot_times.max()) if count else 0.0)
+        self._tracer.add(
+            "compute.provision",
+            track=f"provider.{self.provider}",
+            start=boot_start,
+            end=self.env.now,
+            count=count,
+            instance_type=instance_type.name,
+        )
+        self._m_provisioned.inc(count)
+        self._m_boot.observe(self.env.now - boot_start)
         batch: list[VmInstance] = []
         for _ in range(count):
             self._counter += 1
@@ -125,6 +146,7 @@ class CloudProvider:
         if not instance.is_running:
             raise ValueError(f"{instance.instance_id} already terminated")
         instance.terminated_at = self.env.now
+        self._m_terminated.inc()
         if self.meter is not None:
             self.meter.record_instance_usage(
                 instance.instance_type.name,

@@ -29,6 +29,7 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.cloud.billing import CostMeter
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import Environment
 
 __all__ = ["Message", "MessageQueue", "QueueStats", "StaleReceiptError"]
@@ -63,6 +64,7 @@ class QueueStats:
     duplicate_deliveries: int = 0
     stale_deletes: int = 0
     dead_lettered: int = 0
+    requests: int = 0  # every priced API request (send/receive/delete/...)
 
 
 class MessageQueue:
@@ -114,6 +116,14 @@ class MessageQueue:
         self.max_receive_count = max_receive_count
         self.dead_letter_queue = dead_letter_queue
         self.stats = QueueStats()
+        # Metrics instruments fetched once; null no-ops unless a caller
+        # wrapped this run in repro.obs.observe().
+        metrics = _current_obs().metrics
+        self._m_requests = metrics.counter(f"queue.{name}.requests")
+        self._m_depth = metrics.gauge(f"queue.{name}.depth")
+        self._m_redeliveries = metrics.counter(f"queue.{name}.redeliveries")
+        self._m_dead_letters = metrics.counter(f"queue.{name}.dead_letters")
+        self._m_empty_receives = metrics.counter(f"queue.{name}.empty_receives")
         self._ids = itertools.count()
         self._receipts = itertools.count(1)
         self._messages: dict[int, Message] = {}
@@ -137,6 +147,8 @@ class MessageQueue:
         )
 
     def _meter_request(self) -> None:
+        self.stats.requests += 1
+        self._m_requests.inc()
         if self.meter is not None:
             self.meter.record_queue_request()
 
@@ -152,6 +164,7 @@ class MessageQueue:
             was_inflight = self._inflight.pop(message_id, None)
             if was_inflight is not None:
                 self.stats.reappearances += 1
+                self._m_redeliveries.inc()
                 # Redrive policy: poison messages go to the DLQ instead
                 # of reappearing forever.
                 if (
@@ -160,6 +173,8 @@ class MessageQueue:
                 ):
                     del self._messages[message_id]
                     self.stats.dead_lettered += 1
+                    self._m_dead_letters.inc()
+                    self._m_depth.set(len(self._messages))
                     if self.dead_letter_queue is not None:
                         self.dead_letter_queue._accept_dead_letter(message)
                     continue
@@ -183,6 +198,7 @@ class MessageQueue:
             self._pending, (visible_at, next(self._seq), message_id)
         )
         self.stats.sent += 1
+        self._m_depth.set(len(self._messages))
         return message_id
 
     def _accept_dead_letter(self, message: Message) -> None:
@@ -200,6 +216,7 @@ class MessageQueue:
             self._pending, (self.env.now, next(self._seq), message_id)
         )
         self.stats.sent += 1
+        self._m_depth.set(len(self._messages))
 
     def send_batch(self, bodies: list[Any]) -> Generator:
         """Enqueue up to 10 messages in one API request (process).
@@ -226,6 +243,7 @@ class MessageQueue:
             )
             self.stats.sent += 1
             ids.append(message_id)
+        self._m_depth.set(len(self._messages))
         return ids
 
     def receive(
@@ -255,12 +273,14 @@ class MessageQueue:
                 break
             if self.env.now >= deadline:
                 self.stats.empty_receives += 1
+                self._m_empty_receives.inc()
                 return None
             yield self.env.timeout(
                 min(0.2, max(1e-6, deadline - self.env.now))
             )
         if self.miss_probability and self.rng.random() < self.miss_probability:
             self.stats.empty_receives += 1
+            self._m_empty_receives.inc()
             return None
         index = int(self.rng.integers(len(self._visible)))
         message_id = self._visible[index]
@@ -311,6 +331,7 @@ class MessageQueue:
         self._inflight.pop(message.message_id, None)
         if self._messages.pop(message.message_id, None) is not None:
             self.stats.deleted += 1
+            self._m_depth.set(len(self._messages))
         if message.message_id in self._visible:
             self._visible.remove(message.message_id)
 

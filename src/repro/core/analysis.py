@@ -34,12 +34,21 @@ def completion_timeline(result: RunResult) -> list[tuple[float, int]]:
 
 def worker_utilization(result: RunResult) -> dict[str, float]:
     """Busy fraction per worker over the makespan (all attempts count —
-    a duplicate execution is real occupancy)."""
-    if result.makespan_seconds <= 0:
-        raise ValueError("run has no positive makespan")
+    a duplicate execution is real occupancy).
+
+    Degenerate runs are tolerated rather than rejected: with a
+    non-positive makespan a worker that did record busy time reports
+    ``1.0`` (it was busy the whole — instantaneous — run) and one that
+    recorded none reports ``0.0``; a run with no records returns ``{}``.
+    """
     busy: dict[str, float] = {}
     for record in result.records:
         busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
+    if result.makespan_seconds <= 0:
+        return {
+            worker: 1.0 if seconds > 0 else 0.0
+            for worker, seconds in busy.items()
+        }
     return {
         worker: min(1.0, seconds / result.makespan_seconds)
         for worker, seconds in busy.items()
@@ -47,12 +56,16 @@ def worker_utilization(result: RunResult) -> dict[str, float]:
 
 
 def load_balance_index(result: RunResult) -> float:
-    """max/mean busy seconds across workers; 1.0 is perfect balance."""
+    """max/mean busy seconds across workers; 1.0 is perfect balance.
+
+    A run with no task records (or all-zero busy time) is vacuously
+    balanced and returns ``1.0``.
+    """
     busy: dict[str, float] = {}
     for record in result.records:
         busy[record.worker] = busy.get(record.worker, 0.0) + record.elapsed
     if not busy:
-        raise ValueError("run has no task records")
+        return 1.0
     values = list(busy.values())
     mean = sum(values) / len(values)
     if mean <= 0:

@@ -62,14 +62,17 @@ def instance_type_study(
     *,
     jobs: "int | None" = 1,
     cache=None,
+    progress=None,
 ) -> list[InstanceStudyRow]:
     """Run the same task set on each deployment shape.
 
     The paper holds total cores at 16 and varies the instance type;
     callers are responsible for choosing backends honouring that.
+    ``progress`` is forwarded to :func:`run_points` (a callable taking
+    one :class:`~repro.sweep.runner.PointProgress` per event).
     """
     points = [point_for(app, backend, tasks) for backend in backends]
-    results = run_points(points, jobs=jobs, cache=cache)
+    results = run_points(points, jobs=jobs, cache=cache, progress=progress)
     return [
         InstanceStudyRow(
             label=r.label,
@@ -106,18 +109,20 @@ def scalability_study(
     *,
     jobs: "int | None" = 1,
     cache=None,
+    progress=None,
 ) -> list[ScalingPoint]:
     """Weak-scaling sweep in the paper's style.
 
     ``backend_factory(cores)`` builds a deployment with that many cores;
     ``tasks_for(cores)`` supplies the (growing) workload — the paper
     replicates its data set so workload scales with the fleet.
+    ``progress`` is forwarded to :func:`run_points`.
     """
     points = [
         point_for(app, backend_factory(cores), tasks_for(cores))
         for cores in core_counts
     ]
-    results = run_points(points, jobs=jobs, cache=cache)
+    results = run_points(points, jobs=jobs, cache=cache, progress=progress)
     return [
         ScalingPoint(
             backend=r.backend,

@@ -70,6 +70,11 @@ class RunResult:
     # Tasks the framework gave up on (e.g. poison tasks quarantined in a
     # dead-letter queue).  Disjoint from ``completed``.
     failed: set[str] = field(default_factory=set)
+    # Queue-cost accounting (QueueStats as a plain dict) for backends
+    # that drive work through a MessageQueue; None elsewhere.
+    queue_stats: dict | None = None
+    # Where this run's exported trace lives (path/URI), if traced.
+    trace_ref: str | None = None
 
     @property
     def completed_task_ids(self) -> set[str]:
@@ -116,6 +121,8 @@ class RunResult:
             "failed": sorted(self.failed),
             "extras": dict(self.extras),
             "billing": billing,
+            "queue_stats": dict(self.queue_stats) if self.queue_stats else None,
+            "trace_ref": self.trace_ref,
             "records": [
                 {
                     "task_id": r.task_id,
@@ -178,6 +185,8 @@ class RunResult:
             extras=dict(data.get("extras", {})),
             completed=set(data.get("completed", [])),
             failed=set(data.get("failed", [])),
+            queue_stats=data.get("queue_stats"),
+            trace_ref=data.get("trace_ref"),
         )
 
     @classmethod

@@ -22,6 +22,7 @@ from repro.core.application import Application
 from repro.core.task import RunResult, TaskRecord, TaskSpec
 from repro.dryad.graph import DryadGraph, Vertex
 from repro.dryad.partitions import PartitionSet, partition_tasks
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import make_environment
 from repro.sim.rng import RngRegistry
 
@@ -132,6 +133,9 @@ class _DryadRun:
         self.rng = RngRegistry(config.seed)
         self.records: list[TaskRecord] = []
         self.completed: set[str] = set()
+        self.obs = _current_obs()
+        self.tracer = self.obs.tracer
+        self._m_dispatches = self.obs.metrics.counter("scheduler.dispatches")
 
     def execute(self) -> RunResult:
         # Manual sidecar distribution (paper Section 5): "we manually
@@ -155,6 +159,7 @@ class _DryadRun:
         barrier = self.env.all_of(vertex_processes)
         self.env.run(until=barrier)
         makespan = self.env.now
+        self.obs.metrics.counter("sim.events").inc(self.env.events_scheduled)
         return RunResult(
             backend="dryadlinq",
             app_name=self.app.name,
@@ -179,6 +184,14 @@ class _DryadRun:
         config = self.config
         node = vertex.preferred_node
         yield self.env.timeout(config.job_startup_seconds)
+        self._m_dispatches.inc()
+        self.tracer.instant(
+            "scheduler.dispatch",
+            track=vertex.vertex_id,
+            ts=self.env.now,
+            node=node,
+            n_tasks=len(vertex.payload),
+        )
         partition: tuple[TaskSpec, ...] = vertex.payload
         queue = list(partition)
         slots = []
@@ -230,6 +243,23 @@ class _DryadRun:
                     continue
                 yield self.env.timeout(read_time + service + write_time)
                 self.completed.add(task.task_id)
+                if self.tracer.enabled:
+                    tid = task.task_id
+                    self.tracer.add(
+                        "task.download", track=name,
+                        start=started, end=started + read_time, task_id=tid,
+                    )
+                    self.tracer.add(
+                        "task.compute", track=name,
+                        start=started + read_time,
+                        end=started + read_time + service,
+                        task_id=tid,
+                    )
+                    self.tracer.add(
+                        "task.upload", track=name,
+                        start=started + read_time + service,
+                        end=self.env.now, task_id=tid,
+                    )
                 self.records.append(
                     TaskRecord(
                         task_id=task.task_id,
@@ -264,6 +294,8 @@ class LocalDryadLinq:
             raise ValueError("no tasks to run")
         partition_set = partition_tasks(tasks, self.n_nodes)
         records: list[TaskRecord] = []
+        # Captured on the driving thread; pool threads close over it.
+        tracer = _current_obs().tracer
         start = time.monotonic()  # repro: noqa[RPR001] real runtime
 
         def run_partition(node: int) -> list[TaskRecord]:
@@ -275,6 +307,14 @@ class LocalDryadLinq:
                 t0 = time.monotonic()  # repro: noqa[RPR001] real runtime
                 executable.run(task.input_key, task.output_key)
                 t1 = time.monotonic()  # repro: noqa[RPR001] real runtime
+                tracer.add(
+                    "task.compute",
+                    track=f"node{node}",
+                    start=t0 - start,
+                    end=t1 - start,
+                    domain="wall",
+                    task_id=task.task_id,
+                )
                 return TaskRecord(
                     task_id=task.task_id,
                     worker=f"node{node}",

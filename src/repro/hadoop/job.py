@@ -29,6 +29,7 @@ from repro.core.application import Application
 from repro.core.task import RunResult, TaskRecord, TaskSpec
 from repro.hadoop.hdfs import HdfsClient
 from repro.hadoop.inputformat import FileNameInputFormat
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import make_environment
 from repro.sim.rng import RngRegistry
 
@@ -127,6 +128,12 @@ class _HadoopRun:
         self.config = config
         self.app = app
         self.tasks = tasks
+        self.obs = _current_obs()
+        self.tracer = self.obs.tracer
+        self._m_dispatches = self.obs.metrics.counter("scheduler.dispatches")
+        self._m_speculative = self.obs.metrics.counter(
+            "scheduler.speculative_dispatches"
+        )
         self.env = make_environment()
         self.rng = RngRegistry(config.seed)
         node = config.cluster.node
@@ -165,6 +172,7 @@ class _HadoopRun:
                 name = f"node{node}-slot{slot}"
                 self.env.process(self._slot(node, name), name=name)
         makespan = self.env.run(until=self.done)
+        self.obs.metrics.counter("sim.events").inc(self.env.events_scheduled)
         return RunResult(
             backend="hadoop",
             app_name=self.app.name,
@@ -240,6 +248,17 @@ class _HadoopRun:
             if task.task_id in self.completed:
                 continue  # completed while we were deciding
             started = self.env.now
+            self._m_dispatches.inc()
+            if speculative:
+                self._m_speculative.inc()
+            self.tracer.instant(
+                "scheduler.dispatch",
+                track=name,
+                ts=started,
+                task_id=task.task_id,
+                speculative=speculative,
+                node=node,
+            )
             self.attempts_used[task.task_id] += 1
             attempt_no = self.attempts_used[task.task_id]
 
@@ -293,6 +312,23 @@ class _HadoopRun:
             if won:
                 self.completed.add(task.task_id)
             self._attempt_over(task, info)
+            if self.tracer.enabled:
+                tid = task.task_id
+                self.tracer.add(
+                    "task.download", track=name,
+                    start=started, end=started + read_time, task_id=tid,
+                )
+                self.tracer.add(
+                    "task.compute", track=name,
+                    start=started + read_time,
+                    end=started + read_time + service,
+                    task_id=tid, speculative=speculative,
+                )
+                self.tracer.add(
+                    "task.upload", track=name,
+                    start=started + read_time + service,
+                    end=started + total, task_id=tid,
+                )
             self.records.append(
                 TaskRecord(
                     task_id=task.task_id,
@@ -355,6 +391,8 @@ class MiniHadoop:
         splits = input_format.get_splits(input_dir)
         output_dir = Path(output_dir)
         output_dir.mkdir(parents=True, exist_ok=True)
+        # Captured on the driving thread; pool threads close over it.
+        tracer = _current_obs().tracer
         start = time.monotonic()  # repro: noqa[RPR001] real runtime
 
         def map_task(split) -> TaskRecord:
@@ -369,6 +407,15 @@ class MiniHadoop:
                     last_error = exc
                     continue
                 t1 = time.monotonic()  # repro: noqa[RPR001] real runtime
+                tracer.add(
+                    "task.compute",
+                    track="minihadoop",
+                    start=t0 - start,
+                    end=t1 - start,
+                    domain="wall",
+                    task_id=name,
+                    attempt=attempt,
+                )
                 return TaskRecord(
                     task_id=name,
                     worker="minihadoop",

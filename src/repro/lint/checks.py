@@ -1,4 +1,4 @@
-"""The determinism rules (RPR001–RPR006).
+"""The determinism rules (RPR001–RPR007).
 
 Each rule enforces one invariant the DES kernel's reproducibility
 promise rests on (see ``repro.sim.engine``'s module docstring and
@@ -18,6 +18,7 @@ __all__ = [
     "HeapTiebreakRule",
     "MutableDefaultRule",
     "SetIterationRule",
+    "SpanWallClockRule",
     "WallClockRule",
 ]
 
@@ -246,6 +247,51 @@ class FloatTimeEqualityRule(Rule):
         if isinstance(node, ast.Name):
             return node.id
         return None
+
+
+@register
+class SpanWallClockRule(Rule):
+    code = "RPR007"
+    name = "no-wall-clock-in-span"
+    rationale = (
+        "Tracer.span() stamps wall time; inside simulation code the span "
+        "body mixing in its own wall-clock reads puts host-dependent "
+        "numbers on the simulated timeline.  Sim-scoped code must record "
+        "spans with Tracer.add() and Environment.now timestamps."
+    )
+    scope = SIM_SCOPE
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(
+                self._is_span_call(item.context_expr) for item in node.items
+            ):
+                continue
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    path = module.resolve(inner.func)
+                    if path in _WALL_CLOCK_CALLS:
+                        yield self.violation(
+                            module,
+                            inner,
+                            f"wall-clock call {path}() inside a tracer "
+                            "span body in simulation code; record the "
+                            "span with Tracer.add() and Environment.now "
+                            "timestamps instead",
+                        )
+
+    @staticmethod
+    def _is_span_call(node: ast.expr) -> bool:
+        """True for ``<anything>.span(...)`` context expressions."""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+        )
 
 
 @register

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.context import current as _current_obs
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Environment, Event, Process, SimulationError
 
 __all__ = ["SanitizedEnvironment", "SanitizerError", "SanitizerReport"]
@@ -77,10 +79,18 @@ class SanitizedEnvironment(Environment):
     # this path; the (time, sequence) firing order is identical.
     _use_lane = False
 
+    #: Track name under which kernel events are recorded in the tracer.
+    KERNEL_TRACK = "kernel"
+
     def __init__(self, initial_time: float = 0.0, strict: bool = True):
         super().__init__(initial_time)
         self.strict = strict
-        self.trace: list[str] = []
+        # The event trace is recorded as instants on a Tracer — the same
+        # span stream repro.obs exports.  If an observe() context is
+        # active, events land in that run's trace (and surface in the
+        # Chrome export); otherwise the sanitizer owns a private tracer.
+        ambient = _current_obs().tracer
+        self.tracer = ambient if ambient.enabled else Tracer(label="sanitizer")
         self.same_time_ties = 0
         self._double_triggers: list[str] = []
         self._processes: list[Process] = []
@@ -113,7 +123,9 @@ class SanitizedEnvironment(Environment):
                 f"{type(event).__name__} fired twice (t={time!r}, seq={seq})"
             )
         label = getattr(event, "name", None) or type(event).__name__
-        self.trace.append(f"{time!r} #{seq} {label}")
+        self.tracer.instant(
+            label, track=self.KERNEL_TRACK, ts=time, seq=seq
+        )
         super().step()
         if self._heap and self._heap[0][0] == time:
             self.same_time_ties += 1
@@ -124,6 +136,21 @@ class SanitizedEnvironment(Environment):
             raise SanitizerError(message)
 
     # -- reporting --------------------------------------------------------
+    @property
+    def trace(self) -> list[str]:
+        """The deterministic event trace, derived from the tracer's
+        instant stream (``time #seq label`` per fired event).
+
+        Kept as a derived view so the trace format stays byte-stable
+        while the underlying records feed the same exporters as every
+        other span/instant.
+        """
+        return [
+            f"{instant.ts!r} #{instant.args['seq']} {instant.name}"
+            for instant in self.tracer.instants
+            if instant.track == self.KERNEL_TRACK
+        ]
+
     def trace_text(self) -> str:
         """The event trace as one newline-joined string (replay tests
         compare this byte-for-byte across same-seed runs)."""

@@ -1,0 +1,55 @@
+"""repro.obs — unified tracing + metrics for every backend.
+
+Opt in around any run::
+
+    from repro.obs import observe, write_chrome_trace
+
+    with observe(label="classiccloud") as obs:
+        result = framework.run(app, inputs)
+    write_chrome_trace("out.json", obs)
+
+Everything defaults to null objects (:data:`NULL_TRACER`,
+:data:`NULL_METRICS`), so code instrumented with this package costs an
+empty method call per event when nobody is observing.
+"""
+
+from repro.obs.context import NULL_OBSERVABILITY, Observability, current, observe
+from repro.obs.export import (
+    chrome_trace,
+    phase_fractions,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_OBSERVABILITY",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "current",
+    "observe",
+    "phase_fractions",
+    "summarize_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

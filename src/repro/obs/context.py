@@ -1,0 +1,80 @@
+"""The ambient observability context: one tracer + registry per run.
+
+Instrumented code never receives a tracer through its constructor —
+frozen configs stay frozen and picklable.  Instead it asks for the
+*current* :class:`Observability` bundle at run start::
+
+    from repro.obs import current
+
+    class _SimRun:
+        def __init__(self, ...):
+            self.obs = current()  # null objects unless someone opted in
+
+and callers opt in for the duration of one run::
+
+    with observe() as obs:
+        result = backend.run(app, tasks)
+    write_chrome_trace("out.json", obs)
+
+The context is **thread-local** at the point of lookup: a run grabs its
+bundle once on the driving thread and closes over it, so worker threads
+it spawns publish into the same bundle.  Sweep worker *processes* start
+fresh and see the null bundle — traced runs go inline by design.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["Observability", "current", "observe"]
+
+
+@dataclass
+class Observability:
+    """One run's instrumentation bundle."""
+
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    @classmethod
+    def make(cls, label: str = "") -> "Observability":
+        """A live bundle: real tracer + real registry."""
+        return cls(tracer=Tracer(label=label), metrics=MetricsRegistry())
+
+
+#: Shared null bundle — what current() returns outside observe().
+NULL_OBSERVABILITY = Observability()
+
+_state = threading.local()
+
+
+def current() -> Observability:
+    """The innermost active bundle, or the shared null bundle."""
+    stack = getattr(_state, "stack", None)
+    if not stack:
+        return NULL_OBSERVABILITY
+    return stack[-1]
+
+
+@contextmanager
+def observe(obs: "Observability | None" = None, label: str = ""):
+    """Install ``obs`` (or a fresh live bundle) as the current context."""
+    if obs is None:
+        obs = Observability.make(label=label)
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    stack.append(obs)
+    try:
+        yield obs
+    finally:
+        stack.pop()

@@ -1,0 +1,229 @@
+"""Exporters: Chrome ``trace_event`` JSON, flat metrics JSON, text summary.
+
+The Chrome format is the `trace_event` JSON-object form — load the file
+in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans become
+complete (``"ph": "X"``) events with microsecond timestamps; instants
+become ``"ph": "i"`` events; tracks map to thread ids with
+``thread_name`` metadata, and each time domain (simulated seconds vs
+host wall clock) gets its own process id so the two timelines never
+interleave on one row.
+
+:func:`validate_chrome_trace` checks the schema (CI runs it on the
+traced smoke sweep) and :func:`summarize_chrome_trace` renders the
+paper-style per-phase breakdown from an exported file, so the summary
+seen at export time and the one recovered from disk are the same code
+path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.context import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "phase_fractions",
+    "summarize_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: pid assignment per time domain (Chrome groups rows by pid).
+_DOMAIN_PIDS = {"sim": 1, "wall": 2}
+_DOMAIN_NAMES = {"sim": "simulated time", "wall": "wall time"}
+
+#: The span names making up the paper's phase decomposition.
+TASK_PHASES = ("task.queue_wait", "task.download", "task.compute", "task.upload")
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def chrome_trace(
+    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+) -> dict:
+    """Render a tracer (and optionally a registry) as a Chrome trace."""
+    events: list[dict] = []
+    tids: dict[tuple[str, str], int] = {}
+
+    def tid_for(domain: str, track: str) -> int:
+        key = (domain, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _DOMAIN_PIDS.get(domain, 0),
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for domain, pid in sorted(_DOMAIN_PIDS.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": _DOMAIN_NAMES[domain]},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": _DOMAIN_PIDS.get(span.domain, 0),
+                "tid": tid_for(span.domain, span.track),
+                "args": dict(span.args),
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": _category(instant.name),
+                "ph": "i",
+                "s": "t",  # thread-scoped
+                "ts": instant.ts * 1e6,
+                "pid": _DOMAIN_PIDS.get(instant.domain, 0),
+                "tid": tid_for(instant.domain, instant.track),
+                "args": dict(instant.args),
+            }
+        )
+    document: dict = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro-trace-v1",
+            "label": tracer.label,
+        },
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = metrics.to_dict()
+    return document
+
+
+def write_chrome_trace(
+    path: "str | Path",
+    obs: "Observability | Tracer",
+    metrics: "MetricsRegistry | None" = None,
+) -> dict:
+    """Write the trace JSON to ``path``; returns the document."""
+    if isinstance(obs, Observability):
+        tracer, metrics = obs.tracer, obs.metrics
+    else:
+        tracer = obs
+    document = chrome_trace(tracer, metrics)
+    Path(path).write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return document
+
+
+def validate_chrome_trace(data: object) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be a JSON object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        if phase not in ("X", "i", "M", "C", "B", "E"):
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                errors.append(f"{where}: complete event missing numeric 'dur'")
+            elif dur < 0:
+                errors.append(f"{where}: negative duration {dur}")
+    return errors
+
+
+def _span_events(data: dict) -> list[dict]:
+    return [
+        event
+        for event in data.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+
+
+def phase_fractions(data: dict) -> dict[str, float]:
+    """Fractions of total per-task time per phase, from an exported
+    trace — the paper's ``phase_breakdown`` view, reconstructed from
+    ``task.download`` / ``task.compute`` / ``task.upload`` spans."""
+    totals = {"download": 0.0, "compute": 0.0, "upload": 0.0}
+    for event in _span_events(data):
+        name = event.get("name", "")
+        phase = name.removeprefix("task.")
+        if name.startswith("task.") and phase in totals:
+            totals[phase] += float(event.get("dur", 0.0))
+    grand = sum(totals.values())
+    if grand <= 0:
+        raise ValueError("trace has no task phase spans")
+    return {phase: value / grand for phase, value in totals.items()}
+
+
+def summarize_chrome_trace(data: dict) -> str:
+    """Human text summary: span totals plus the phase breakdown."""
+    spans = _span_events(data)
+    totals: dict[str, tuple[int, float]] = {}
+    for event in spans:
+        name = event["name"]
+        count, seconds = totals.get(name, (0, 0.0))
+        totals[name] = (count + 1, seconds + float(event.get("dur", 0.0)) / 1e6)
+    lines = []
+    label = data.get("otherData", {}).get("label")
+    title = f"trace summary ({label})" if label else "trace summary"
+    lines.append(title)
+    lines.append(f"  span events: {len(spans)}")
+    name_width = max((len(name) for name in totals), default=4)
+    for name in sorted(totals):
+        count, seconds = totals[name]
+        lines.append(
+            f"  {name.ljust(name_width)}  n={count:<6d} total={seconds:,.3f}s"
+        )
+    try:
+        fractions = phase_fractions(data)
+    except ValueError:
+        fractions = None
+    if fractions is not None:
+        lines.append("phase breakdown (fractions of per-task time):")
+        for phase, fraction in fractions.items():
+            lines.append(f"  {phase:<8s} {100 * fraction:6.2f}%")
+    metrics = data.get("otherData", {}).get("metrics") or {}
+    if metrics:
+        lines.append("metrics:")
+        for name in sorted(metrics):
+            lines.append(f"  {name} = {metrics[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Metrics: counters, gauges and histograms behind a registry.
+
+A :class:`MetricsRegistry` is a flat name → instrument map that the
+cloud services (queue depth, redeliveries, dead letters), the schedulers
+(dispatch counts, speculative attempts), the sweep layer (cache
+hits/misses) and the DES kernel (events scheduled) publish into.
+Instruments are get-or-create, so publishers never need to know whether
+anyone registered interest first.
+
+The default registry everywhere is :data:`NULL_METRICS`: its
+instruments are shared no-op singletons, so uninstrumented hot paths
+pay one method call per would-be update.  Publishers that update inside
+loops should fetch their instrument once (``self._m_x =
+metrics.counter("x")``) and call ``inc``/``set`` on it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, busy fraction)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max (no samples kept)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram()
+            return instrument
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-ready export (sorted names, stable shape)."""
+        out: dict[str, object] = {}
+        with self._lock:
+            for name in sorted(self._counters):
+                out[name] = self._counters[name].value
+            for name in sorted(self._gauges):
+                out[name] = self._gauges[name].value
+            for name in sorted(self._histograms):
+                hist = self._histograms[name]
+                out[name] = {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "min": hist.min if hist.count else None,
+                    "max": hist.max if hist.count else None,
+                    "mean": hist.mean,
+                }
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The do-nothing default: hands out shared no-op instruments."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()

@@ -436,6 +436,17 @@ class Environment:
         """Current simulated time."""
         return self._now
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total scheduling actions taken so far (lane + heap).
+
+        Every action consumes one global sequence number, so this is an
+        exact kernel-throughput counter obtained for free — the metrics
+        layer (``repro.obs``) reads it once per run rather than paying a
+        per-event callback in the hot loop.
+        """
+        return self._sequence
+
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
         """Create an untriggered event."""

@@ -28,6 +28,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import Environment
 from repro.sweep.cache import ResultCache
 from repro.sweep.points import point_for
@@ -110,14 +111,18 @@ def _kernel_bench(smoke: bool) -> dict:
         "ping_pong": (_ping_pong, 4 * n),
     }
     out = {}
+    metrics = _current_obs().metrics
     for name, (fn, events) in shapes.items():
         seconds = _best_of(lambda: fn(n), repeats)
+        rate = events / seconds if seconds > 0 else None
         out[name] = {
             "iterations": n,
             "events": events,
             "best_s": seconds,
-            "events_per_s": events / seconds if seconds > 0 else None,
+            "events_per_s": rate,
         }
+        if rate is not None:
+            metrics.gauge(f"bench.kernel.{name}.events_per_s").set(rate)
     return out
 
 

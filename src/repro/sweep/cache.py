@@ -22,6 +22,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.context import current as _current_obs
 from repro.sweep.fingerprint import cache_key, point_fingerprint
 from repro.sweep.points import PointResult, PointSpec
 
@@ -59,6 +60,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        obs = _current_obs()
+        self._tracer = obs.tracer
+        self._m_hits = obs.metrics.counter("sweep.cache.hits")
+        self._m_misses = obs.metrics.counter("sweep.cache.misses")
 
     # -- keying -----------------------------------------------------------
     def _path_for(self, key: str) -> Path:
@@ -66,6 +71,15 @@ class ResultCache:
 
     # -- lookup / store ---------------------------------------------------
     def get(self, spec: PointSpec) -> "PointResult | None":
+        with self._tracer.span("cache.lookup", label=spec.label):
+            result = self._get(spec)
+        if result is None:
+            self._m_misses.inc()
+        else:
+            self._m_hits.inc()
+        return result
+
+    def _get(self, spec: PointSpec) -> "PointResult | None":
         fingerprint = point_fingerprint(spec)
         path = self._path_for(cache_key(fingerprint))
         try:

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
 
+from repro.obs.context import current as _current_obs
 from repro.sweep.cache import ResultCache
 from repro.sweep.points import (
     InlinePoint,
@@ -28,7 +31,23 @@ from repro.sweep.points import (
     run_point,
 )
 
-__all__ = ["resolve_jobs", "run_points"]
+__all__ = ["PointProgress", "resolve_jobs", "run_points"]
+
+
+@dataclass(frozen=True)
+class PointProgress:
+    """One live progress notification from :func:`run_points`.
+
+    ``status`` is ``"start"`` (the point began executing), ``"done"``
+    (its result is in), or ``"cache-hit"`` (served from the result
+    cache without executing).  Cache hits emit a single notification;
+    executed points emit ``start`` then ``done``.
+    """
+
+    index: int  # position in the input list
+    label: str
+    status: str  # "start" | "done" | "cache-hit"
+    total: int  # len(points), for "k/n" displays
 
 
 def resolve_jobs(jobs: "int | None" = None) -> int:
@@ -57,10 +76,23 @@ def run_points(
     *,
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
+    progress: "Callable[[PointProgress], None] | None" = None,
 ) -> list[PointResult]:
-    """Execute every point; results come back in input order."""
+    """Execute every point; results come back in input order.
+
+    ``progress`` is invoked from the parent process with one
+    :class:`PointProgress` per lifecycle event (start / done /
+    cache-hit); exceptions it raises propagate to the caller.
+    """
     jobs = resolve_jobs(jobs)
     use_cache = cache is not None and not _sanitizing()
+    total = len(points)
+    metrics = _current_obs().metrics
+    m_points = metrics.counter("sweep.points_run")
+
+    def notify(index: int, label: str, status: str) -> None:
+        if progress is not None:
+            progress(PointProgress(index, label, status, total))
 
     results: "list[PointResult | None]" = [None] * len(points)
     pending: "list[tuple[int, PointSpec]]" = []
@@ -70,29 +102,38 @@ def run_points(
                 hit = cache.get(point)
                 if hit is not None:
                     results[index] = hit
+                    notify(index, point.label, "cache-hit")
                     continue
             pending.append((index, point))
         else:
             # Inline points hold live objects; run them here, uncached.
+            notify(index, point.label, "start")
             results[index] = run_inline(point)
+            m_points.inc()
+            notify(index, point.label, "done")
 
     if len(pending) <= 1 or jobs == 1:
         for index, spec in pending:
+            notify(index, spec.label, "start")
             results[index] = run_point(spec)
+            m_points.inc()
             if use_cache:
                 cache.put(spec, results[index])
+            notify(index, spec.label, "done")
         return results  # type: ignore[return-value]
 
     workers = min(jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            (index, spec, pool.submit(run_point, spec))
-            for index, spec in pending
-        ]
+        futures = []
+        for index, spec in pending:
+            futures.append((index, spec, pool.submit(run_point, spec)))
+            notify(index, spec.label, "start")
         # Collect in submission order: result ordering is decided by the
         # input list, never by completion order.
         for index, spec, future in futures:
             results[index] = future.result()
+            m_points.inc()
             if use_cache:
                 cache.put(spec, results[index])
+            notify(index, spec.label, "done")
     return results  # type: ignore[return-value]

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.cloud.instance_types import get_instance_type
 from repro.cloud.queue import MessageQueue
 from repro.cloud.storage import BlobStore
+from repro.obs.context import current as _current_obs
 from repro.sim.engine import make_environment
 from repro.sim.rng import RngRegistry
 
@@ -72,6 +73,8 @@ class TwisterAzureSimulator:
         if mode not in ("naive", "twister"):
             raise ValueError(f"unknown mode {mode!r}")
         config = self.config
+        obs = _current_obs()
+        tracer = obs.tracer
         env = make_environment()
         rng = RngRegistry(config.seed)
         storage = BlobStore(
@@ -85,20 +88,38 @@ class TwisterAzureSimulator:
         storage.stage("dynamic", config.dynamic_state_bytes)
         iteration_times: list[float] = []
 
-        def worker(first: bool):
+        def worker(first: bool, index: int, iteration: int):
             """One worker's single iteration."""
             msg = yield env.process(queue.receive())
             if msg is None:
                 return
+            track = f"{mode}-worker-{index}"
+            t0 = env.now
             if mode == "naive" or first:
                 yield env.process(storage.get("static"))
             yield env.process(storage.get("dynamic"))
+            download_end = env.now
             yield env.timeout(config.compute_seconds_per_iteration)
+            compute_end = env.now
             # Ship the (small) reduced output back.
             yield env.process(
                 storage.put("out", config.dynamic_state_bytes)
             )
+            upload_end = env.now
             yield env.process(queue.delete(msg))
+            if tracer.enabled:
+                tracer.add(
+                    "task.download", track=track,
+                    start=t0, end=download_end, iteration=iteration,
+                )
+                tracer.add(
+                    "task.compute", track=track,
+                    start=download_end, end=compute_end, iteration=iteration,
+                )
+                tracer.add(
+                    "task.upload", track=track,
+                    start=compute_end, end=upload_end, iteration=iteration,
+                )
 
         def driver():
             for iteration in range(config.n_iterations):
@@ -107,8 +128,14 @@ class TwisterAzureSimulator:
                     yield env.process(queue.send("map"))
                 barrier = env.all_of(
                     [
-                        env.process(worker(first=(iteration == 0)))
-                        for _ in range(config.n_workers)
+                        env.process(
+                            worker(
+                                first=(iteration == 0),
+                                index=index,
+                                iteration=iteration,
+                            )
+                        )
+                        for index in range(config.n_workers)
                     ]
                 )
                 yield barrier
@@ -118,9 +145,23 @@ class TwisterAzureSimulator:
                     storage.put("dynamic", config.dynamic_state_bytes)
                 )
                 iteration_times.append(env.now - start)
+                tracer.add(
+                    "twister.iteration",
+                    track=f"{mode}-driver",
+                    start=start,
+                    end=env.now,
+                    iteration=iteration,
+                    mode=mode,
+                )
 
         process = env.process(driver())
         env.run(until=process)
+        obs.metrics.counter("sim.events").inc(env.events_scheduled)
+        iteration_hist = obs.metrics.histogram(
+            f"twister.{mode}.iteration_seconds"
+        )
+        for seconds in iteration_times:
+            iteration_hist.observe(seconds)
         return TwisterSimResult(
             mode=mode,
             total_seconds=env.now,

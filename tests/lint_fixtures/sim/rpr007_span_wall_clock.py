@@ -1,0 +1,12 @@
+# repro: noqa-file[RPR001] fixture isolates RPR007 from the plain rule
+"""Fixture: wall-clock read inside a tracer span body in sim scope
+(RPR007)."""
+
+import time
+
+
+def serve_task(tracer, env, task):
+    with tracer.span("task.compute", track="worker"):
+        started = time.perf_counter()
+        task.run()
+        return started, env.now

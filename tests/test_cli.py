@@ -129,6 +129,62 @@ class TestAnalyze:
         assert "no such trace" in text
 
 
+class TestTrace:
+    def test_run_trace_exports_and_summarizes(self, tmp_path):
+        import json
+
+        path = tmp_path / "out.json"
+        code, text = run_cli(
+            "run", "--files", "8", "--instances", "1", "--trace", str(path)
+        )
+        assert code == 0
+        assert "cap3 on ec2" in text  # metrics table still prints
+        assert "trace summary" in text
+        assert "phase breakdown" in text
+        assert f"trace written to {path}" in text
+        document = json.loads(path.read_text(encoding="utf-8"))
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(document) == []
+        assert document["otherData"]["label"] == "cap3-ec2"
+
+    def test_trace_subcommand_validates_export(self, tmp_path):
+        path = tmp_path / "out.json"
+        run_cli("run", "--files", "8", "--instances", "1",
+                "--trace", str(path))
+        code, text = run_cli("trace", str(path))
+        assert code == 0
+        assert "valid Chrome trace" in text
+        assert "task.compute" in text
+
+    def test_trace_subcommand_rejects_invalid(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Q"}]}', encoding="utf-8")
+        code, text = run_cli("trace", str(bad))
+        assert code == 2
+        assert "invalid Chrome trace" in text
+
+    def test_trace_subcommand_missing_file(self):
+        code, text = run_cli("trace", "/nonexistent/out.json")
+        assert code == 2
+        assert "no such trace" in text
+
+    def test_trace_subcommand_not_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        code, text = run_cli("trace", str(bad))
+        assert code == 2
+        assert "not JSON" in text
+
+    def test_untraced_run_prints_progress(self):
+        code, text = run_cli(
+            "run", "--files", "8", "--instances", "1", "--no-cache"
+        )
+        assert code == 0
+        assert "[1/1]" in text
+        assert ": done" in text
+
+
 class TestGendata:
     def test_writes_cap3_workload(self, tmp_path):
         code, text = run_cli(

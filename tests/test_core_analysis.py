@@ -76,12 +76,43 @@ class TestUtilization:
         utilization = worker_utilization(synthetic_result())
         assert utilization == {"w0": pytest.approx(4 / 6), "w1": pytest.approx(4 / 6)}
 
-    def test_zero_makespan_rejected(self):
+    def test_zero_makespan_tolerated(self):
         empty = RunResult(
             backend="x", app_name="a", n_tasks=0, makespan_seconds=0.0
         )
-        with pytest.raises(ValueError):
-            worker_utilization(empty)
+        assert worker_utilization(empty) == {}
+
+    def test_zero_makespan_with_busy_records(self):
+        result = RunResult(
+            backend="x", app_name="a", n_tasks=2, makespan_seconds=0.0,
+            records=[
+                TaskRecord(
+                    task_id="t0", worker="w0", started_at=0.0,
+                    finished_at=1.0,
+                ),
+                TaskRecord(
+                    task_id="t1", worker="w1", started_at=0.0,
+                    finished_at=0.0,
+                ),
+            ],
+        )
+        assert worker_utilization(result) == {"w0": 1.0, "w1": 0.0}
+
+    def test_idle_worker_reports_zero(self):
+        result = RunResult(
+            backend="x", app_name="a", n_tasks=1, makespan_seconds=4.0,
+            records=[
+                TaskRecord(
+                    task_id="t0", worker="w0", started_at=0.0,
+                    finished_at=0.0,
+                ),
+                TaskRecord(
+                    task_id="t1", worker="w1", started_at=0.0,
+                    finished_at=2.0,
+                ),
+            ],
+        )
+        assert worker_utilization(result) == {"w0": 0.0, "w1": 0.5}
 
 
 class TestLoadBalance:
@@ -108,12 +139,23 @@ class TestLoadBalance:
         ).run(app, tasks)
         assert load_balance_index(dryad) > load_balance_index(hadoop)
 
-    def test_empty_records_rejected(self):
+    def test_empty_records_vacuously_balanced(self):
         empty = RunResult(
             backend="x", app_name="a", n_tasks=0, makespan_seconds=1.0
         )
-        with pytest.raises(ValueError):
-            load_balance_index(empty)
+        assert load_balance_index(empty) == 1.0
+
+    def test_zero_busy_time_vacuously_balanced(self):
+        result = RunResult(
+            backend="x", app_name="a", n_tasks=1, makespan_seconds=1.0,
+            records=[
+                TaskRecord(
+                    task_id="t0", worker="w0", started_at=0.5,
+                    finished_at=0.5,
+                ),
+            ],
+        )
+        assert load_balance_index(result) == 1.0
 
 
 class TestPhaseBreakdown:

@@ -1,0 +1,54 @@
+"""Golden-text regression for the analysis renderers.
+
+A fully pinned 2-worker ClassicCloud Cap3 run (no faults, no jitter,
+fixed seed) must render byte-identical ``gantt_text`` and
+``phase_breakdown`` output across commits.  If an intentional model or
+renderer change moves these bytes, regenerate the fixture with
+``python tests/test_golden_analysis.py`` and review the diff.
+"""
+
+from pathlib import Path
+
+from repro.cloud.failures import FaultPlan
+from repro.core.analysis import gantt_text, phase_breakdown
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.workloads.genome import cap3_task_specs
+
+GOLDEN = Path(__file__).parent / "golden" / "gantt_classiccloud_2worker.txt"
+
+
+def deterministic_run():
+    app = get_application("cap3")
+    tasks = cap3_task_specs(8, reads_per_file=150)
+    backend = make_backend(
+        "ec2",
+        instance_type="L",
+        n_instances=1,
+        workers_per_instance=2,
+        fault_plan=FaultPlan.none(),
+        perf_jitter=0.0,
+        seed=11,
+    )
+    return backend.run(app, tasks)
+
+
+def render(result) -> str:
+    lines = [gantt_text(result, width=60), ""]
+    lines.append("phase breakdown:")
+    for phase, fraction in phase_breakdown(result).items():
+        lines.append(f"  {phase:<8s} {100 * fraction:6.2f}%")
+    return "\n".join(lines) + "\n"
+
+
+def test_gantt_and_phases_match_golden_bytes():
+    assert render(deterministic_run()) == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_run_is_deterministic():
+    assert render(deterministic_run()) == render(deterministic_run())
+
+
+if __name__ == "__main__":
+    GOLDEN.write_text(render(deterministic_run()), encoding="utf-8")
+    print(f"regenerated {GOLDEN}")

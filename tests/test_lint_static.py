@@ -20,6 +20,7 @@ FIXTURE_CODES = {
     "rpr004_mutable_default.py": "RPR004",
     "rpr005_float_time_eq.py": "RPR005",
     "rpr006_heap_tiebreak.py": "RPR006",
+    "sim/rpr007_span_wall_clock.py": "RPR007",
 }
 
 

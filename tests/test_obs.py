@@ -1,0 +1,176 @@
+"""Unit tests for repro.obs: tracer, metrics, ambient context."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    Instant,
+    MetricsRegistry,
+    Observability,
+    Span,
+    Tracer,
+    current,
+    observe,
+)
+
+
+class TestTracer:
+    def test_add_records_sim_span(self):
+        tracer = Tracer(label="t")
+        tracer.add("task.compute", track="w0", start=1.0, end=3.5, task_id="t1")
+        (span,) = tracer.spans
+        assert span == Span(
+            name="task.compute", track="w0", start=1.0, end=3.5,
+            domain="sim", args={"task_id": "t1"},
+        )
+        assert span.duration == 2.5
+        assert len(tracer) == 1
+
+    def test_span_context_manager_uses_wall_domain(self):
+        tracer = Tracer()
+        with tracer.span("cache.lookup", track="host", label="x"):
+            pass
+        (span,) = tracer.spans
+        assert span.domain == "wall"
+        assert span.end >= span.start >= 0.0
+        assert span.args == {"label": "x"}
+
+    def test_instant_with_explicit_sim_timestamp(self):
+        tracer = Tracer()
+        tracer.instant("scheduler.dispatch", track="v0", ts=7.0, node=2)
+        (instant,) = tracer.instants
+        assert instant == Instant(
+            name="scheduler.dispatch", track="v0", ts=7.0,
+            domain="sim", args={"node": 2},
+        )
+
+    def test_instant_without_timestamp_reads_wall_clock(self):
+        tracer = Tracer()
+        tracer.instant("tick")
+        (instant,) = tracer.instants
+        assert instant.domain == "wall"
+        assert instant.ts >= 0.0
+
+    def test_totals_aggregates_by_name(self):
+        tracer = Tracer()
+        tracer.add("task.compute", track="w0", start=0.0, end=2.0)
+        tracer.add("task.compute", track="w1", start=1.0, end=4.0)
+        tracer.add("task.upload", track="w0", start=2.0, end=2.5)
+        assert tracer.totals() == {
+            "task.compute": pytest.approx(5.0),
+            "task.upload": pytest.approx(0.5),
+        }
+        assert tracer.totals("task.up") == {"task.upload": pytest.approx(0.5)}
+
+    def test_thread_safe_appends(self):
+        tracer = Tracer()
+
+        def record():
+            for i in range(200):
+                tracer.add("s", track="t", start=float(i), end=float(i) + 1)
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.spans) == 800
+
+
+class TestNullTracer:
+    def test_every_operation_is_a_noop(self):
+        NULL_TRACER.add("s", track="t", start=0.0, end=1.0)
+        NULL_TRACER.instant("i", ts=0.0)
+        with NULL_TRACER.span("s"):
+            pass
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.instants == []
+        assert NULL_TRACER.totals() == {}
+
+    def test_shared_span_handle_is_reentrant(self):
+        with NULL_TRACER.span("a"):
+            with NULL_TRACER.span("b"):
+                pass
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.0)
+        registry.gauge("g").set(5.0)
+        registry.gauge("g").dec(1.5)
+        for value in (1.0, 3.0, 2.0):
+            registry.histogram("h").observe(value)
+        data = registry.to_dict()
+        assert data["c"] == 3.0
+        assert data["g"] == 3.5
+        assert data["h"] == {
+            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+        assert len(registry) == 3
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_empty_histogram_exports_none_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert registry.to_dict()["h"] == {
+            "count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0,
+        }
+
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("a").inc()
+        NULL_METRICS.gauge("b").set(9.0)
+        NULL_METRICS.histogram("c").observe(1.0)
+        assert NULL_METRICS.to_dict() == {}
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("zzz")
+
+
+class TestContext:
+    def test_default_is_the_null_bundle(self):
+        obs = current()
+        assert not obs.enabled
+        assert obs.tracer is NULL_TRACER
+        assert obs.metrics is NULL_METRICS
+
+    def test_observe_installs_and_restores(self):
+        with observe(label="run") as obs:
+            assert current() is obs
+            assert obs.enabled
+            assert obs.tracer.label == "run"
+        assert not current().enabled
+
+    def test_observe_nests(self):
+        with observe() as outer:
+            with observe() as inner:
+                assert current() is inner
+            assert current() is outer
+
+    def test_explicit_bundle_is_used_verbatim(self):
+        bundle = Observability.make(label="mine")
+        with observe(bundle) as obs:
+            assert obs is bundle
+            current().tracer.add("s", track="t", start=0.0, end=1.0)
+        assert len(bundle.tracer.spans) == 1
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["enabled"] = current().enabled
+
+        with observe():
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["enabled"] is False

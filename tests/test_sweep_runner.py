@@ -195,6 +195,48 @@ class TestInlineFallback:
             assert isinstance(point_for(app, backend, tasks), PointSpec), name
 
 
+class TestProgress:
+    def _points(self, count=2):
+        app = get_application("cap3")
+        tasks = _tasks()
+        return [point_for(app, b, tasks) for b in _backends()[:count]]
+
+    def test_serial_emits_start_then_done_per_point(self):
+        events = []
+        run_points(self._points(), jobs=1, progress=events.append)
+        assert [(e.index, e.status) for e in events] == [
+            (0, "start"), (0, "done"), (1, "start"), (1, "done"),
+        ]
+        assert all(e.total == 2 for e in events)
+        assert events[0].label == events[1].label
+
+    def test_pool_run_notifies_every_point(self):
+        events = []
+        run_points(self._points(), jobs=2, progress=events.append)
+        assert sorted(
+            (e.index, e.status) for e in events
+        ) == [(0, "done"), (0, "start"), (1, "done"), (1, "start")]
+
+    def test_cache_hit_emits_single_event(self, tmp_path):
+        points = self._points(1)
+        cache = ResultCache(tmp_path)
+        run_points(points, jobs=1, cache=cache)
+        events = []
+        run_points(points, jobs=1, cache=cache, progress=events.append)
+        assert [(e.index, e.status, e.total) for e in events] == [
+            (0, "cache-hit", 1)
+        ]
+
+    def test_inline_points_report_progress(self):
+        app = get_application("cap3")
+        point = point_for(app, _StubBackend(), _tasks())
+        events = []
+        run_points([point], jobs=1, progress=events.append)
+        assert [(e.label, e.status) for e in events] == [
+            ("stub", "start"), ("stub", "done"),
+        ]
+
+
 class TestResolveJobs:
     def test_explicit_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "7")
