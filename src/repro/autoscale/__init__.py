@@ -1,0 +1,56 @@
+"""Elastic autoscaling for the Classic Cloud backends.
+
+The paper's deployments are static; this package adds the elastic
+worker-pool story on top of the same simulated substrate: scaling
+policies (:mod:`~repro.autoscale.policies`), the per-run elasticity
+contract (:class:`~repro.autoscale.plan.AutoscalePlan`), the in-sim
+controller (:class:`~repro.autoscale.controller.AutoscaleController`)
+and the cost-vs-makespan frontier study
+(:func:`~repro.autoscale.study.autoscale_study`).
+
+See ``docs/AUTOSCALING.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.plan import AutoscalePlan
+from repro.autoscale.policies import (
+    DEFAULT_STEPS,
+    ScalingStep,
+    StepScalingPolicy,
+    TargetTrackingPolicy,
+    default_policy,
+)
+
+__all__ = [
+    "AutoscaleController",
+    "AutoscalePlan",
+    "AutoscaleStudyRow",
+    "DEFAULT_STEPS",
+    "ScalingStep",
+    "StepScalingPolicy",
+    "TargetTrackingPolicy",
+    "autoscale_study",
+    "default_policy",
+    "render_frontier",
+    "serialize_rows",
+]
+
+_STUDY_EXPORTS = (
+    "AutoscaleStudyRow",
+    "autoscale_study",
+    "render_frontier",
+    "serialize_rows",
+)
+
+
+def __getattr__(name: str):
+    # The study imports the Classic Cloud backends, which import this
+    # package for AutoscalePlan — resolve study exports lazily to keep
+    # that from becoming an import cycle.
+    if name in _STUDY_EXPORTS:
+        from repro.autoscale import study
+
+        return getattr(study, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

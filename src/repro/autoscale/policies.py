@@ -1,0 +1,144 @@
+"""Scaling policies: how many instances should the pool have *now*?
+
+Both policies are plain frozen dataclasses (picklable, cache-
+fingerprintable) evaluated by the
+:class:`~repro.autoscale.controller.AutoscaleController` once per
+evaluation interval against the scheduling-queue backlog — the natural
+signal for the paper's task-farming architecture, where every pending
+task is one queue message.
+
+* :class:`TargetTrackingPolicy` — keep *backlog per worker* at a target
+  (the AWS "target tracking" shape): the desired pool follows the queue
+  depth directly, so it scales to zero pressure as the run drains.
+* :class:`StepScalingPolicy` — threshold table over backlog per worker
+  (the AWS "step scaling" shape): coarse, bounded adjustments per
+  evaluation, slower to react but resistant to backlog noise.
+
+The controller clamps every answer into the plan's
+``[min_instances, max_instances]`` and applies scale-up/scale-down
+cooldowns, so policies stay pure decision functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ScalingStep",
+    "StepScalingPolicy",
+    "TargetTrackingPolicy",
+    "default_policy",
+]
+
+
+@dataclass(frozen=True)
+class TargetTrackingPolicy:
+    """Track a target backlog (queued tasks) per worker.
+
+    ``desired workers = ceil(backlog / target_backlog_per_worker)``,
+    converted to instances by the deployment's workers-per-instance.
+    """
+
+    kind: str = field(default="target-tracking", init=False)
+    target_backlog_per_worker: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.target_backlog_per_worker <= 0:
+            raise ValueError("target_backlog_per_worker must be positive")
+
+    def desired_instances(
+        self,
+        *,
+        backlog: int,
+        current_instances: int,
+        workers_per_instance: int,
+    ) -> int:
+        """Instances wanted for ``backlog`` pending tasks."""
+        if backlog <= 0:
+            return 0
+        workers = math.ceil(backlog / self.target_backlog_per_worker)
+        return math.ceil(workers / workers_per_instance)
+
+    @property
+    def label(self) -> str:
+        return f"target-tracking({self.target_backlog_per_worker:g}/worker)"
+
+
+@dataclass(frozen=True)
+class ScalingStep:
+    """One row of a step-scaling table.
+
+    Applies when the metric (backlog per worker) is at least
+    ``lower_bound``; ``adjustment`` is added to the current instance
+    count (negative rows scale in).
+    """
+
+    lower_bound: float
+    adjustment: int
+
+
+#: The default step table: aggressive growth under deep backlog, one
+#: instance of decay when the queue is nearly drained.
+DEFAULT_STEPS: tuple[ScalingStep, ...] = (
+    ScalingStep(lower_bound=6.0, adjustment=4),
+    ScalingStep(lower_bound=3.0, adjustment=2),
+    ScalingStep(lower_bound=1.5, adjustment=1),
+    ScalingStep(lower_bound=0.5, adjustment=0),
+    ScalingStep(lower_bound=0.0, adjustment=-1),
+)
+
+
+@dataclass(frozen=True)
+class StepScalingPolicy:
+    """Threshold table over backlog per worker.
+
+    Rows are evaluated highest ``lower_bound`` first; the first row
+    whose bound the metric meets wins.  A metric below every bound
+    leaves the pool unchanged.
+    """
+
+    kind: str = field(default="step", init=False)
+    steps: tuple[ScalingStep, ...] = DEFAULT_STEPS
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("step policy needs at least one step")
+        bounds = [s.lower_bound for s in self.steps]
+        if any(b < 0 for b in bounds):
+            raise ValueError("step lower bounds must be non-negative")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("step lower bounds must be distinct")
+
+    def desired_instances(
+        self,
+        *,
+        backlog: int,
+        current_instances: int,
+        workers_per_instance: int,
+    ) -> int:
+        """Current pool plus the matching step's adjustment."""
+        workers = max(1, current_instances * workers_per_instance)
+        metric = backlog / workers
+        for step in sorted(
+            self.steps, key=lambda s: s.lower_bound, reverse=True
+        ):
+            if metric >= step.lower_bound:
+                return current_instances + step.adjustment
+        return current_instances
+
+    @property
+    def label(self) -> str:
+        return f"step({len(self.steps)} steps)"
+
+
+def default_policy(name: str):
+    """Build a policy from its CLI name."""
+    if name == "target-tracking":
+        return TargetTrackingPolicy()
+    if name == "step":
+        return StepScalingPolicy()
+    raise KeyError(
+        f"unknown autoscaling policy {name!r}; "
+        "known: target-tracking, step"
+    )

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 
 from repro.apps.perfmodels import task_runtime_seconds
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.plan import AutoscalePlan
 from repro.cloud.billing import CostMeter
 from repro.cloud.compute import CloudProvider, VmInstance
 from repro.cloud.failures import FaultPlan
@@ -66,6 +68,8 @@ class LocalAugmentation:
 class _LocalHost:
     """A non-billed execution host for augmentation workers."""
 
+    draining = False  # local hosts are never scaled in
+
     def __init__(self, machine: MachineModel):
         self.machine = machine
 
@@ -102,6 +106,11 @@ class ClassicCloudConfig:
     # records an event trace and checks kernel invariants.  False still
     # honours the REPRO_SANITIZE environment variable.
     sanitize: bool = False
+    # Elastic pool: when set, n_instances is only the *initial* fleet
+    # and an AutoscaleController grows/shrinks it mid-run (with optional
+    # spot-market bidding and preemption).  None keeps the paper's
+    # static deployment.
+    autoscale: AutoscalePlan | None = None
 
     def __post_init__(self) -> None:
         if self.n_instances < 1 or self.workers_per_instance < 1:
@@ -244,6 +253,19 @@ class _SimRun:
         self.preload_seconds = 0.0
         self._worker_counter = 0
         self._worker_instance: dict[int, VmInstance] = {}
+        self.controller: AutoscaleController | None = None
+        if config.autoscale is not None:
+            self.controller = AutoscaleController(
+                self.env,
+                config.autoscale,
+                self.cloud,
+                config.resolve_instance_type(),
+                config.workers_per_instance,
+                self.task_queue,
+                self.rng.stream("spot-market"),
+                spawn_workers=self._spawn_instance_workers,
+                is_done=lambda: self._accounted_tasks() >= len(self.tasks),
+            )
 
     def _visibility_timeout(self) -> float:
         if self.config.visibility_timeout_s is not None:
@@ -269,6 +291,9 @@ class _SimRun:
         self.cloud.terminate_all()
         report = self.meter.report()
         self._publish_run_metrics(makespan)
+        autoscale_extras = (
+            self.controller.summary() if self.controller is not None else {}
+        )
         return RunResult(
             backend=f"classiccloud-{self.config.provider}",
             app_name=self.app.name,
@@ -287,6 +312,7 @@ class _SimRun:
                 "stale_reads": float(self.storage.stats.stale_reads),
                 "visibility_timeout_s": self.task_queue.visibility_timeout_s,
                 "dead_lettered": float(self.task_queue.stats.dead_lettered),
+                **autoscale_extras,
             },
             completed=set(self.completed),
             # Disjoint from completed: a task that finished somewhere but
@@ -320,9 +346,14 @@ class _SimRun:
     def _driver(self):
         config = self.config
         itype = config.resolve_instance_type()
-        instances = yield self.env.process(
-            self.cloud.provision(itype, config.n_instances)
-        )
+        if self.controller is not None:
+            instances = yield self.env.process(
+                self.controller.launch_initial(config.n_instances)
+            )
+        else:
+            instances = yield self.env.process(
+                self.cloud.provision(itype, config.n_instances)
+            )
         # Stage inputs: metered (storage + ingress) but, per the paper's
         # methodology, outside the measured window and free of simulated
         # time (data "already present in the preferred storage").
@@ -352,8 +383,12 @@ class _SimRun:
         self.env.process(self._client(), name="client")
         workers: list = []
         for instance in instances:
-            for w in range(config.workers_per_instance):
-                workers.append(self._spawn_worker(instance))
+            procs = self._spawn_instance_workers(instance)
+            workers.extend(procs)
+            if self.controller is not None:
+                self.controller.track(instance, procs)
+        if self.controller is not None:
+            self.controller.start()
         # On-premise augmentation workers share the queue, but reach
         # storage over the WAN.
         if config.local_augmentation is not None:
@@ -381,6 +416,13 @@ class _SimRun:
         completion = self.env.process(self._completion_watcher(), name="watch")
         yield completion
         return self.env.now - self.measure_start
+
+    def _spawn_instance_workers(self, instance) -> list:
+        """Start the configured workers on one (possibly fresh) instance."""
+        return [
+            self._spawn_worker(instance)
+            for _ in range(self.config.workers_per_instance)
+        ]
 
     def _spawn_worker(
         self,
@@ -483,6 +525,10 @@ class _SimRun:
         wait_start = self.env.now
         try:
             while len(self.completed) < len(self.tasks):
+                # Scale-in: a draining (or already terminated) host stops
+                # taking new tasks; the current task was finished first.
+                if host.draining or not host.is_running:
+                    return
                 msg = yield self.env.process(self.task_queue.receive())
                 if wan_latency_s:
                     yield self.env.timeout(wan_latency_s)

@@ -99,6 +99,32 @@ def build_parser() -> argparse.ArgumentParser:
         "(open in chrome://tracing or ui.perfetto.dev); forces an "
         "in-process, uncached run",
     )
+    run_parser.add_argument(
+        "--autoscale", choices=("target-tracking", "step"), default=None,
+        help="run an elastic pool under this scaling policy instead of "
+        "the static deployment (cloud backends only)",
+    )
+    run_parser.add_argument(
+        "--spot-fraction", type=float, default=0.0,
+        help="fraction of the elastic pool bought on the spot market "
+        "(0 = all on-demand, 1 = all spot; requires --autoscale)",
+    )
+    run_parser.add_argument(
+        "--bid-multiplier", type=float, default=0.5,
+        help="spot bid as a multiple of the on-demand price",
+    )
+    run_parser.add_argument(
+        "--min-instances", type=int, default=1,
+        help="elastic pool floor (requires --autoscale)",
+    )
+    run_parser.add_argument(
+        "--max-instances", type=int, default=16,
+        help="elastic pool ceiling (requires --autoscale)",
+    )
+    run_parser.add_argument(
+        "--billing", choices=("hourly", "per-second"), default="hourly",
+        help="billing mode for the elastic pool's instances",
+    )
 
     trace_parser = sub.add_parser(
         "trace", help="validate and summarize an exported Chrome trace"
@@ -167,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
              "per file (gtm); app default if omitted",
     )
     gendata_parser.add_argument("--seed", type=int, default=0)
+
+    docs_parser = sub.add_parser(
+        "docs", help="check documentation: links resolve, code blocks run"
+    )
+    docs_parser.add_argument(
+        "paths", nargs="*",
+        help="markdown files to check (default: README.md + docs/*.md)",
+    )
+    docs_parser.add_argument(
+        "--no-execute", action="store_true",
+        help="check links only, skip running python code blocks",
+    )
 
     from repro.lint.cli import add_lint_parser
 
@@ -241,6 +279,25 @@ def _cmd_run(args, out) -> int:
             kwargs["instance_type"] = args.instance_type
         if args.workers is not None:
             kwargs["workers_per_instance"] = args.workers
+        if args.autoscale is not None:
+            from repro.autoscale import AutoscalePlan, default_policy
+            from repro.cloud.spot import BidStrategy
+
+            kwargs["autoscale"] = AutoscalePlan(
+                policy=default_policy(args.autoscale),
+                min_instances=args.min_instances,
+                max_instances=args.max_instances,
+                bid=BidStrategy.mixed(
+                    args.spot_fraction, bid_multiplier=args.bid_multiplier
+                ),
+                billing=args.billing,
+            )
+    elif args.autoscale is not None:
+        print(
+            "error: --autoscale requires a cloud backend (ec2 or azure)",
+            file=out,
+        )
+        return 2
     else:
         cluster_name = args.cluster or (
             "cap3-baremetal-windows" if args.backend == "dryadlinq"
@@ -304,6 +361,21 @@ def _cmd_run(args, out) -> int:
         )
         rows.append(
             ["amortized total cost", f"${r.amortized_cost:.2f}"]
+        )
+    extras = getattr(r, "extras", {}) or {}
+    if args.autoscale is not None and extras:
+        rows.extend(
+            [
+                ["scaling events (up/down)",
+                 f"{extras.get('autoscale_scale_up_events', 0):.0f} / "
+                 f"{extras.get('autoscale_scale_down_events', 0):.0f}"],
+                ["peak instances",
+                 f"{extras.get('autoscale_peak_instances', 0):.0f}"],
+                ["spot preemptions",
+                 f"{extras.get('autoscale_preemptions', 0):.0f}"],
+                ["spot capacity denied",
+                 f"{extras.get('autoscale_spot_unavailable', 0):.0f}"],
+            ]
         )
     print(format_table(["metric", "value"], rows,
                        title=f"{args.app} on {args.backend}"), file=out)
@@ -502,6 +574,16 @@ def _cmd_gendata(args, out) -> int:
     return 0
 
 
+def _cmd_docs(args, out) -> int:
+    from repro.lint.docscheck import check_docs
+
+    result = check_docs(
+        paths=args.paths or None, execute=not args.no_execute
+    )
+    print(result.render(), file=out)
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -524,6 +606,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "gendata":
         return _cmd_gendata(args, out)
+    if args.command == "docs":
+        return _cmd_docs(args, out)
     if args.command == "lint":
         from repro.lint.cli import cmd_lint
 

@@ -15,9 +15,16 @@ the paper's Classic Cloud framework is built on:
   storage, queue, transfer).
 * :mod:`repro.cloud.failures` — fault-injection plans for workers, messages
   and storage.
+* :mod:`repro.cloud.spot` — the seeded spot-price market and bid
+  strategies behind :mod:`repro.autoscale`.
 """
 
-from repro.cloud.billing import BillingReport, CostMeter
+from repro.cloud.billing import (
+    PER_SECOND_MINIMUM_S,
+    BillingReport,
+    CostMeter,
+    InstanceUsage,
+)
 from repro.cloud.compute import CloudProvider, VmInstance
 from repro.cloud.deployment import (
     AZURE_DEPLOYMENT,
@@ -36,6 +43,7 @@ from repro.cloud.instance_types import (
 )
 from repro.cloud.pricing import AWS_PRICES, AZURE_PRICES, PriceBook
 from repro.cloud.queue import Message, MessageQueue, QueueStats
+from repro.cloud.spot import BidStrategy, SpotMarketModel, SpotPriceTrace
 from repro.cloud.storage import BlobNotFound, BlobObject, BlobStore
 
 __all__ = [
@@ -43,6 +51,7 @@ __all__ = [
     "AZURE_DEPLOYMENT",
     "AZURE_INSTANCE_TYPES",
     "AZURE_PRICES",
+    "BidStrategy",
     "BillingReport",
     "DeploymentModel",
     "DeploymentStep",
@@ -56,11 +65,15 @@ __all__ = [
     "EC2_INSTANCE_TYPES",
     "FaultPlan",
     "InstanceType",
+    "InstanceUsage",
     "MachineModel",
     "Message",
     "MessageQueue",
+    "PER_SECOND_MINIMUM_S",
     "PriceBook",
     "QueueStats",
+    "SpotMarketModel",
+    "SpotPriceTrace",
     "VmInstance",
     "get_instance_type",
 ]

@@ -6,6 +6,21 @@ Two compute-cost views, following the paper's Evaluation Methodology:
   the computation pays for every started hour even if it finishes early.
 * **Amortized cost** — the computation pays only for the fraction of the
   hour it actually used (assumes the remainder does other useful work).
+
+Elastic pools (:mod:`repro.autoscale`) add two wrinkles, recorded per
+instance lifetime:
+
+* ``billing="per-second"`` — modern per-second accounting with a
+  :data:`PER_SECOND_MINIMUM_S` minimum charge, instead of ceil-to-hour;
+* ``preempted=True`` — a *provider-initiated* spot preemption forgives
+  the interrupted partial hour under hourly billing (the classic EC2
+  spot rule: you never pay for the hour the provider took back, so a
+  preemption inside the first hour is free).  Per-second billing charges
+  the seconds actually used either way.
+
+Because of that forgiveness, the full-hour compute cost of a preempted
+spot instance can legitimately be *below* its amortized cost — the
+provider eats the difference.
 """
 
 from __future__ import annotations
@@ -15,7 +30,44 @@ from dataclasses import dataclass, field
 
 from repro.cloud.pricing import PriceBook
 
-__all__ = ["BillingReport", "CostMeter"]
+__all__ = [
+    "BillingReport",
+    "CostMeter",
+    "InstanceUsage",
+    "PER_SECOND_MINIMUM_S",
+]
+
+#: Minimum charge under per-second billing (the providers' 60-second
+#: floor for Linux instances).
+PER_SECOND_MINIMUM_S = 60.0
+
+
+@dataclass(frozen=True)
+class InstanceUsage:
+    """One instance lifetime as the meter saw it."""
+
+    type_name: str
+    seconds: float
+    rate_per_hour: float
+    billing: str = "hourly"  # "hourly" | "per-second"
+    preempted: bool = False  # provider-initiated spot preemption
+
+    def __post_init__(self) -> None:
+        if self.billing not in ("hourly", "per-second"):
+            raise ValueError(f"unknown billing mode {self.billing!r}")
+
+    def billed_hours(self) -> float:
+        """Hours charged for this lifetime under its billing mode."""
+        hours = self.seconds / 3600.0
+        if self.billing == "per-second":
+            return max(self.seconds, PER_SECOND_MINIMUM_S) / 3600.0
+        if self.preempted:
+            # Interrupted partial hour forgiven; preemption within the
+            # first hour is free.
+            return float(math.floor(hours))
+        # A started hour is a billed hour; zero-uptime instances still
+        # pay for their first hour.
+        return float(math.ceil(hours)) if hours > 0 else 1.0
 
 
 @dataclass
@@ -28,9 +80,9 @@ class CostMeter:
     bytes_stored: int = 0
     bytes_in: int = 0
     bytes_out: int = 0
-    # One record per instance lifetime: (type_name, seconds, rate_per_hour).
-    # Rounding to full hours happens per instance, as the providers bill.
-    instance_usage: list[tuple[str, float, float]] = field(default_factory=list)
+    # One record per instance lifetime; rounding happens per instance,
+    # as the providers bill.
+    instance_usage: list[InstanceUsage] = field(default_factory=list)
 
     def record_queue_request(self, count: int = 1) -> None:
         """Meter ``count`` queue API calls."""
@@ -50,22 +102,40 @@ class CostMeter:
         self.bytes_stored += n_bytes
 
     def record_instance_usage(
-        self, type_name: str, seconds: float, rate_per_hour: float
+        self,
+        type_name: str,
+        seconds: float,
+        rate_per_hour: float,
+        billing: str = "hourly",
+        preempted: bool = False,
     ) -> None:
-        """Meter ``seconds`` of uptime on one instance of ``type_name``."""
-        self.instance_usage.append((type_name, seconds, rate_per_hour))
+        """Meter ``seconds`` of uptime on one instance of ``type_name``.
+
+        ``billing`` selects ceil-to-hour (``"hourly"``, the paper's
+        rule) or ``"per-second"`` accounting; ``preempted`` marks a
+        provider-initiated spot preemption (partial-hour forgiveness
+        under hourly billing).
+        """
+        self.instance_usage.append(
+            InstanceUsage(
+                type_name=type_name,
+                seconds=seconds,
+                rate_per_hour=rate_per_hour,
+                billing=billing,
+                preempted=preempted,
+            )
+        )
 
     def report(self, storage_months: float = 1.0) -> "BillingReport":
         """Summarize metered usage into dollar figures."""
         compute_hours = 0.0
         compute_cost = 0.0
         amortized_cost = 0.0
-        for _type_name, seconds, rate in self.instance_usage:
-            hours = seconds / 3600.0
-            billed_hours = math.ceil(hours) if hours > 0 else 1
-            compute_hours += billed_hours
-            compute_cost += billed_hours * rate
-            amortized_cost += hours * rate
+        for usage in self.instance_usage:
+            billed = usage.billed_hours()
+            compute_hours += billed
+            compute_cost += billed * usage.rate_per_hour
+            amortized_cost += usage.seconds / 3600.0 * usage.rate_per_hour
         gb = 1024.0**3
         return BillingReport(
             compute_hour_units=compute_hours,

@@ -38,6 +38,18 @@ class VmInstance:
     launched_at: float
     cores: Resource = field(init=False)
     terminated_at: float | None = None
+    #: Capacity market: "on-demand" (the paper's setup) or "spot".
+    market: str = "on-demand"
+    #: Hourly rate override (spot price at launch); None bills the
+    #: instance type's on-demand price.
+    price_per_hour: float | None = None
+    #: Accounting mode handed to the meter: "hourly" | "per-second".
+    billing: str = "hourly"
+    #: Scale-in signal: workers on a draining host stop taking new
+    #: tasks and exit, after which the autoscaler terminates the VM.
+    draining: bool = False
+    #: Set when the provider reclaimed this (spot) instance.
+    preempted: bool = False
 
     def __post_init__(self) -> None:
         self.cores = Resource(self.env, capacity=self.instance_type.machine.cores)
@@ -50,6 +62,13 @@ class VmInstance:
     @property
     def is_running(self) -> bool:
         return self.terminated_at is None
+
+    @property
+    def hourly_rate(self) -> float:
+        """The rate this instance is metered at ($/hour)."""
+        if self.price_per_hour is not None:
+            return self.price_per_hour
+        return self.instance_type.cost_per_hour
 
     def effective_clock_ghz(self) -> float:
         """Clock rate adjusted by this instance's performance jitter."""
@@ -98,13 +117,25 @@ class CloudProvider:
         self._m_boot = obs.metrics.histogram(f"compute.{provider}.boot_seconds")
 
     def provision(
-        self, instance_type: InstanceType, count: int
+        self,
+        instance_type: InstanceType,
+        count: int,
+        market: str = "on-demand",
+        price_per_hour: float | None = None,
+        billing: str = "hourly",
     ) -> Generator:
         """Boot ``count`` instances of ``instance_type`` (process).
 
         All instances boot concurrently; the process completes when the
         slowest is up.  Returns the list of :class:`VmInstance`.
+
+        ``market`` / ``price_per_hour`` / ``billing`` tag the whole
+        batch for the meter: spot instances carry the market price in
+        effect at launch, and elastic pools may opt into per-second
+        accounting (:mod:`repro.cloud.billing`).
         """
+        if market not in ("on-demand", "spot"):
+            raise ValueError(f"unknown market {market!r}")
         if instance_type.provider != self.provider:
             raise ValueError(
                 f"{instance_type.name} belongs to {instance_type.provider}, "
@@ -136,22 +167,33 @@ class CloudProvider:
                 env=self.env,
                 speed_factor=max(0.5, jitter),
                 launched_at=self.env.now,
+                market=market,
+                price_per_hour=price_per_hour,
+                billing=billing,
             )
             self.instances.append(instance)
             batch.append(instance)
         return batch
 
-    def terminate(self, instance: VmInstance) -> None:
-        """Stop an instance and meter its billable uptime."""
+    def terminate(self, instance: VmInstance, preempted: bool = False) -> None:
+        """Stop an instance and meter its billable uptime.
+
+        ``preempted=True`` records a provider-initiated spot preemption:
+        under hourly billing the interrupted partial hour is forgiven
+        (:class:`~repro.cloud.billing.InstanceUsage`).
+        """
         if not instance.is_running:
             raise ValueError(f"{instance.instance_id} already terminated")
         instance.terminated_at = self.env.now
+        instance.preempted = preempted
         self._m_terminated.inc()
         if self.meter is not None:
             self.meter.record_instance_usage(
                 instance.instance_type.name,
                 instance.uptime(),
-                instance.instance_type.cost_per_hour,
+                instance.hourly_rate,
+                billing=instance.billing,
+                preempted=preempted,
             )
 
     def terminate_all(self) -> None:

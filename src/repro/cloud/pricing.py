@@ -6,6 +6,11 @@ Figures match the paper's Table 4 line items (2010 price points):
 * storage: $0.14 (S3) / $0.15 (Azure Blob) per GB-month;
 * data transfer: $0.10/GB in on both; $0.15/GB out on Azure (the paper's
   Table 4 charges AWS only for transfer-in of the workload).
+
+The books also carry the provider's long-run **spot discount** — the
+2010-era spot market cleared around a third of the on-demand price —
+which anchors :class:`repro.cloud.spot.SpotMarketModel`'s default
+``price_fraction``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,11 @@ class PriceBook:
     storage_request_price: float  # $ per blob API request
     transfer_in_gb: float  # $ per GB ingress
     transfer_out_gb: float  # $ per GB egress
+    spot_discount_fraction: float = 0.32  # long-run spot/on-demand ratio
+
+    def spot_baseline(self, rate_per_hour: float) -> float:
+        """Long-run mean spot price for an on-demand ``rate_per_hour``."""
+        return rate_per_hour * self.spot_discount_fraction
 
     def queue_cost(self, requests: int) -> float:
         """Cost of ``requests`` queue API calls."""
@@ -46,6 +56,7 @@ AWS_PRICES = PriceBook(
     storage_request_price=0.01 / 10_000,
     transfer_in_gb=0.10,
     transfer_out_gb=0.15,
+    spot_discount_fraction=0.32,
 )
 
 AZURE_PRICES = PriceBook(

@@ -256,7 +256,26 @@ def fig14_15() -> str:
     )
 
 
+def fig_autoscale() -> str:
+    """Elastic pools: the cost-vs-makespan frontier (new study).
+
+    Not a figure from the paper — the autoscaling extension's frontier:
+    for each application and scaling policy, how spot-heavy pools trade
+    cost against makespan (and preemption noise) versus pure on-demand.
+    """
+    from repro.autoscale.study import (
+        autoscale_study,
+        render_frontier,
+    )
+
+    rows = autoscale_study(
+        n_files=64, jobs=None, cache=default_cache()
+    )
+    return render_frontier(rows)
+
+
 FIGURES: dict[str, Callable[[], str]] = {
+    "autoscale": fig_autoscale,
     "fig3_4": fig3_4,
     "fig5_6": fig5_6,
     "fig7_8": fig7_8,

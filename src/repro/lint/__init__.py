@@ -19,6 +19,7 @@ code):
 """
 
 from repro.lint.checker import LintResult, lint_file, lint_paths
+from repro.lint.docscheck import DocProblem, DocsCheckResult, check_docs
 from repro.lint.report import format_human, format_json
 from repro.lint.rules import RULE_REGISTRY, Rule, Violation, all_rules
 from repro.lint.sanitizer import (
@@ -28,6 +29,8 @@ from repro.lint.sanitizer import (
 )
 
 __all__ = [
+    "DocProblem",
+    "DocsCheckResult",
     "LintResult",
     "RULE_REGISTRY",
     "Rule",
@@ -36,6 +39,7 @@ __all__ = [
     "SanitizerReport",
     "Violation",
     "all_rules",
+    "check_docs",
     "format_human",
     "format_json",
     "lint_file",

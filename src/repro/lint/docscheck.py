@@ -1,0 +1,239 @@
+"""Documentation checker: links must resolve, code blocks must run.
+
+Markdown rots in two ways this module catches mechanically:
+
+* **broken links** — every relative link target must exist on disk, and
+  a ``#fragment`` must match a heading in the target file (GitHub slug
+  rules).  ``http(s)``/``mailto`` links are skipped — no network.
+* **stale code** — every fenced ```` ```python ```` block is executed.
+  Blocks in one file share a namespace (later blocks may use names an
+  earlier block defined, the way a tutorial reads) and run in a
+  throwaway working directory so artifacts never land in the repo.
+  A fence directly preceded by an ``<!-- no-run -->`` comment line is
+  skipped — for deliberately-broken examples (``docs/LINT.md``).
+
+``python -m repro docs`` drives this over ``README.md`` + ``docs/``;
+CI runs it as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "DocProblem",
+    "DocsCheckResult",
+    "NO_RUN_MARKER",
+    "check_docs",
+    "default_doc_paths",
+]
+
+NO_RUN_MARKER = "<!-- no-run -->"
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+@dataclass(frozen=True)
+class DocProblem:
+    """One broken link or failed code block."""
+
+    path: str
+    line: int
+    kind: str  # "link" | "anchor" | "code"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.kind}] {self.message}"
+
+
+@dataclass
+class DocsCheckResult:
+    checked_files: list = field(default_factory=list)
+    links_checked: int = 0
+    fences_run: int = 0
+    fences_skipped: int = 0
+    problems: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def render(self) -> str:
+        lines = [p.render() for p in self.problems]
+        lines.append(
+            f"docs: {len(self.checked_files)} files, "
+            f"{self.links_checked} links, {self.fences_run} code blocks run "
+            f"({self.fences_skipped} marked no-run), "
+            f"{len(self.problems)} problem(s)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Fence:
+    language: str
+    start_line: int  # 1-based line of the opening ```
+    code: str
+    no_run: bool
+
+
+def default_doc_paths(root: Path) -> list:
+    """README plus everything under docs/, sorted for stable output."""
+    paths = []
+    readme = root / "README.md"
+    if readme.is_file():
+        paths.append(readme)
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        paths.extend(sorted(docs_dir.glob("*.md")))
+    return paths
+
+
+def _github_slug(heading: str) -> str:
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _parse(path: Path):
+    """Split a markdown file into (headings, links, fences).
+
+    Links and headings inside fenced blocks are ignored; fence contents
+    are collected verbatim.
+    """
+    headings = set()
+    links = []  # (line_number, target)
+    fences = []
+    in_fence = False
+    language = ""
+    fence_start = 0
+    fence_lines = []
+    previous_meaningful = ""
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if in_fence:
+                fences.append(
+                    _Fence(
+                        language=language,
+                        start_line=fence_start,
+                        code="\n".join(fence_lines),
+                        no_run=previous_meaningful == NO_RUN_MARKER,
+                    )
+                )
+                in_fence = False
+                previous_meaningful = ""
+            else:
+                in_fence = True
+                language = stripped[3:].strip().lower()
+                fence_start = lineno
+                fence_lines = []
+            continue
+        if in_fence:
+            fence_lines.append(line)
+            continue
+        if stripped.startswith("#"):
+            headings.add(_github_slug(stripped.lstrip("#")))
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+        if stripped:
+            previous_meaningful = stripped
+    return headings, links, fences
+
+
+def _check_link(path, lineno, target, headings_cache, problems):
+    if target.startswith(_SKIP_SCHEMES):
+        return
+    raw_target, _, fragment = target.partition("#")
+    if raw_target:
+        resolved = (path.parent / raw_target).resolve()
+        if not resolved.exists():
+            problems.append(
+                DocProblem(
+                    str(path), lineno, "link", f"target does not exist: {target}"
+                )
+            )
+            return
+    else:
+        resolved = path.resolve()
+    if fragment and resolved.suffix == ".md":
+        if resolved not in headings_cache:
+            headings_cache[resolved] = _parse(resolved)[0]
+        if fragment.lower() not in headings_cache[resolved]:
+            problems.append(
+                DocProblem(
+                    str(path),
+                    lineno,
+                    "anchor",
+                    f"no heading for anchor #{fragment} in {resolved.name}",
+                )
+            )
+
+
+def _run_fences(path, fences, result):
+    """Execute a file's python fences in one shared namespace."""
+    runnable = [f for f in fences if f.language == "python" and not f.no_run]
+    result.fences_skipped += sum(
+        1 for f in fences if f.language == "python" and f.no_run
+    )
+    if not runnable:
+        return
+    namespace = {"__name__": f"docscheck:{path.name}"}
+    original_cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+        os.chdir(workdir)
+        try:
+            for fence in runnable:
+                source = compile(
+                    fence.code, f"{path}:{fence.start_line}", "exec"
+                )
+                try:
+                    exec(source, namespace)  # noqa: S102 - the whole point
+                except Exception:
+                    last = traceback.format_exc().strip().splitlines()[-1]
+                    result.problems.append(
+                        DocProblem(
+                            str(path),
+                            fence.start_line,
+                            "code",
+                            f"python block failed: {last}",
+                        )
+                    )
+                    # Later fences in this file likely depend on this
+                    # one's names; stop rather than cascade errors.
+                    return
+                result.fences_run += 1
+        finally:
+            os.chdir(original_cwd)
+
+
+def check_docs(paths=None, root=None, execute=True) -> DocsCheckResult:
+    """Check links (always) and run python fences (unless ``execute=False``)."""
+    root = Path(root) if root is not None else Path.cwd()
+    doc_paths = (
+        [Path(p) for p in paths] if paths else default_doc_paths(root)
+    )
+    result = DocsCheckResult()
+    headings_cache = {}
+    for path in doc_paths:
+        if not path.is_file():
+            result.problems.append(
+                DocProblem(str(path), 0, "link", "file does not exist")
+            )
+            continue
+        result.checked_files.append(str(path))
+        _, links, fences = _parse(path)
+        for lineno, target in links:
+            result.links_checked += 1
+            _check_link(path, lineno, target, headings_cache, result.problems)
+        if execute:
+            _run_fences(path, fences, result)
+    return result

@@ -13,7 +13,7 @@ parent process against the original objects, never cached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.apps.perfmodels import TaskPerfModel
 from repro.core.application import Application
@@ -129,6 +129,10 @@ class PointResult:
     compute_cost: float
     amortized_cost: float
     total_cost: float
+    #: Numeric run extras (queue stats, autoscale counters, ...) copied
+    #: from RunResult.extras — floats only, so the JSON round-trip
+    #: through the cache is exact.
+    extras: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -142,6 +146,7 @@ class PointResult:
             "compute_cost": self.compute_cost,
             "amortized_cost": self.amortized_cost,
             "total_cost": self.total_cost,
+            "extras": {k: self.extras[k] for k in sorted(self.extras)},
         }
 
     @classmethod
@@ -157,6 +162,7 @@ class PointResult:
             compute_cost=data["compute_cost"],
             amortized_cost=data["amortized_cost"],
             total_cost=data["total_cost"],
+            extras=dict(data.get("extras", {})),
         )
 
 
@@ -204,6 +210,11 @@ def _measure(backend, app: Application, tasks: list[TaskSpec], label: str):
         compute_cost=billing.compute_cost if billing else 0.0,
         amortized_cost=billing.total_amortized_cost if billing else 0.0,
         total_cost=billing.total_cost if billing else 0.0,
+        extras={
+            k: float(v)
+            for k, v in sorted((result.extras or {}).items())
+            if isinstance(v, (int, float))
+        },
     )
 
 

@@ -1,0 +1,107 @@
+"""Partial instance-hour accounting under elastic pools.
+
+Every expectation here is hand-computed from the billing rules:
+
+* ``hourly`` — a started hour is a billed hour (ceil), and a
+  zero-uptime instance still pays its first hour;
+* ``hourly`` + preempted — the provider-interrupted partial hour is
+  forgiven (floor), so a preemption inside the first hour is free;
+* ``per-second`` — exact seconds, with a 60-second minimum charge,
+  preempted or not.
+"""
+
+import pytest
+
+from repro.cloud.billing import (
+    PER_SECOND_MINIMUM_S,
+    CostMeter,
+    InstanceUsage,
+)
+from repro.cloud.pricing import AWS_PRICES
+
+RATE = 0.68  # HCXL $/hour
+
+
+def hours(usage_seconds, **kwargs):
+    return InstanceUsage(
+        type_name="HCXL", seconds=usage_seconds, rate_per_hour=RATE, **kwargs
+    ).billed_hours()
+
+
+class TestHourly:
+    def test_partial_hour_rounds_up(self):
+        assert hours(5400.0) == 2.0  # 1.5h -> 2h
+
+    def test_scale_down_after_half_hour_pays_full_hour(self):
+        assert hours(1800.0) == 1.0
+
+    def test_exact_hours_not_rounded(self):
+        assert hours(7200.0) == 2.0
+
+    def test_zero_uptime_pays_first_hour(self):
+        assert hours(0.0) == 1.0
+
+
+class TestPreemptedHourly:
+    def test_interrupted_partial_hour_forgiven(self):
+        assert hours(4500.0, preempted=True) == 1.0  # 1.25h -> 1h
+
+    def test_preemption_within_first_hour_is_free(self):
+        assert hours(1800.0, preempted=True) == 0.0
+
+    def test_whole_hours_still_billed(self):
+        assert hours(7200.0, preempted=True) == 2.0
+
+
+class TestPerSecond:
+    def test_exact_seconds(self):
+        assert hours(1800.0, billing="per-second") == pytest.approx(0.5)
+
+    def test_minimum_charge(self):
+        assert hours(30.0, billing="per-second") == pytest.approx(
+            PER_SECOND_MINIMUM_S / 3600.0
+        )
+
+    def test_preemption_does_not_forgive_seconds(self):
+        assert hours(1800.0, billing="per-second", preempted=True) == (
+            pytest.approx(0.5)
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="billing"):
+            InstanceUsage(
+                type_name="HCXL", seconds=1.0, rate_per_hour=RATE,
+                billing="weekly",
+            )
+
+
+def test_meter_totals_hand_computed():
+    """A scale-up/scale-down/preemption lifetime mix, summed by hand."""
+    meter = CostMeter(AWS_PRICES)
+    # Initial instance: ran the whole 1.5h run.
+    meter.record_instance_usage("HCXL", 5400.0, RATE)
+    # Scaled up late, scaled down after 30 min.
+    meter.record_instance_usage("HCXL", 1800.0, RATE)
+    # Spot instance preempted at 1.25h: pays one hour only.
+    meter.record_instance_usage("HCXL", 4500.0, RATE, preempted=True)
+    # Spot instance preempted at 20 min: free.
+    meter.record_instance_usage("HCXL", 1200.0, RATE, preempted=True)
+    # Per-second elastic instance, 10 min.
+    meter.record_instance_usage("HCXL", 600.0, RATE, billing="per-second")
+
+    report = meter.report()
+    # Hours: 2 + 1 + 1 + 0 + 600/3600.
+    assert report.compute_hour_units == pytest.approx(4.0 + 600.0 / 3600.0)
+    assert report.compute_cost == pytest.approx(
+        RATE * (2.0 + 1.0 + 1.0 + 0.0 + 600.0 / 3600.0)
+    )
+    # Amortized cost ignores rounding and forgiveness alike.
+    used = 5400.0 + 1800.0 + 4500.0 + 1200.0 + 600.0
+    assert report.amortized_compute_cost == pytest.approx(
+        RATE * used / 3600.0
+    )
+    # Forgiveness can push the billed cost below amortized for the
+    # preempted instances alone: 1h billed vs 1.583h used.
+    preempted_billed = RATE * 1.0
+    preempted_used = RATE * (4500.0 + 1200.0) / 3600.0
+    assert preempted_billed < preempted_used

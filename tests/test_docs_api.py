@@ -1,0 +1,64 @@
+"""Docs drift guard: the public API must be documented.
+
+Every name exported through ``__all__`` by ``repro`` or any of its
+subpackages has to appear (as a whole word) in ``docs/API.md``.  Adding
+a public symbol without documenting it fails this test; so does
+documenting it under a typo'd name.
+"""
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+
+
+def public_packages():
+    names = ["repro"] + sorted(
+        m.name for m in pkgutil.iter_modules(repro.__path__, "repro.")
+    )
+    out = []
+    for name in names:
+        mod = importlib.import_module(name)
+        exported = getattr(mod, "__all__", None)
+        if exported:
+            out.append((name, tuple(exported)))
+    return out
+
+
+PACKAGES = public_packages()
+
+
+def test_api_md_exists():
+    assert API_MD.is_file()
+
+
+@pytest.mark.parametrize(
+    ("package", "exported"),
+    PACKAGES,
+    ids=[name for name, _ in PACKAGES],
+)
+def test_every_public_name_is_documented(package, exported):
+    text = API_MD.read_text(encoding="utf-8")
+    missing = [
+        name
+        for name in exported
+        if not re.search(rf"\b{re.escape(name)}\b", text)
+    ]
+    assert not missing, (
+        f"{package}.__all__ names missing from docs/API.md: {missing}"
+    )
+
+
+def test_exports_resolve():
+    # __all__ must not advertise names that don't exist (the guard above
+    # would otherwise pass on documentation of a phantom symbol).
+    for package, exported in PACKAGES:
+        mod = importlib.import_module(package)
+        for name in exported:
+            assert hasattr(mod, name), f"{package}.{name} does not resolve"

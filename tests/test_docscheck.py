@@ -1,0 +1,122 @@
+"""The documentation checker: link resolution + executable fences."""
+
+from pathlib import Path
+
+from repro.lint.docscheck import check_docs, default_doc_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(path, text):
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestLinks:
+    def test_resolving_relative_link_passes(self, tmp_path):
+        write(tmp_path / "other.md", "# Other\n")
+        doc = write(tmp_path / "doc.md", "See [other](other.md).\n")
+        result = check_docs(paths=[doc], execute=False)
+        assert result.ok
+        assert result.links_checked == 1
+
+    def test_broken_relative_link_flagged(self, tmp_path):
+        doc = write(tmp_path / "doc.md", "See [gone](missing.md).\n")
+        result = check_docs(paths=[doc], execute=False)
+        (problem,) = result.problems
+        assert problem.kind == "link"
+        assert "missing.md" in problem.message
+        assert problem.line == 1
+
+    def test_anchor_must_match_a_heading(self, tmp_path):
+        write(tmp_path / "other.md", "# Big Title\n\n## The spot market\n")
+        doc = write(
+            tmp_path / "doc.md",
+            "[ok](other.md#the-spot-market)\n[bad](other.md#no-such)\n",
+        )
+        result = check_docs(paths=[doc], execute=False)
+        (problem,) = result.problems
+        assert problem.kind == "anchor"
+        assert "#no-such" in problem.message
+
+    def test_http_links_are_skipped(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "[ext](https://example.invalid/x) [m](mailto:a@b.c)\n",
+        )
+        assert check_docs(paths=[doc], execute=False).ok
+
+    def test_links_inside_fences_are_ignored(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "```\n[not a link](missing.md)\n```\n",
+        )
+        assert check_docs(paths=[doc], execute=False).ok
+
+
+class TestFences:
+    def test_passing_fence_runs(self, tmp_path):
+        doc = write(tmp_path / "doc.md", "```python\nx = 1 + 1\n```\n")
+        result = check_docs(paths=[doc])
+        assert result.ok
+        assert result.fences_run == 1
+
+    def test_failing_fence_reports_its_line(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "intro\n\n```python\nraise ValueError('doc rot')\n```\n",
+        )
+        result = check_docs(paths=[doc])
+        (problem,) = result.problems
+        assert problem.kind == "code"
+        assert problem.line == 3
+        assert "doc rot" in problem.message
+
+    def test_no_run_marker_skips_a_fence(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "<!-- no-run -->\n```python\nundefined_name\n```\n",
+        )
+        result = check_docs(paths=[doc])
+        assert result.ok
+        assert result.fences_skipped == 1
+        assert result.fences_run == 0
+
+    def test_fences_in_one_file_share_a_namespace(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "```python\nvalue = 21\n```\ntext\n```python\n"
+            "assert value * 2 == 42\n```\n",
+        )
+        result = check_docs(paths=[doc])
+        assert result.ok
+        assert result.fences_run == 2
+
+    def test_fences_run_in_a_throwaway_cwd(self, tmp_path):
+        doc = write(
+            tmp_path / "doc.md",
+            "```python\nwith open('artifact.txt', 'w') as fh:\n"
+            "    fh.write('x')\n```\n",
+        )
+        result = check_docs(paths=[doc])
+        assert result.ok
+        assert not (tmp_path / "artifact.txt").exists()
+        assert not Path("artifact.txt").exists()
+
+    def test_non_python_fences_are_not_executed(self, tmp_path):
+        doc = write(tmp_path / "doc.md", "```bash\nexit 1\n```\n")
+        result = check_docs(paths=[doc])
+        assert result.ok
+        assert result.fences_run == 0
+
+
+class TestRepoDocs:
+    def test_default_paths_cover_readme_and_docs(self):
+        paths = [p.name for p in default_doc_paths(REPO_ROOT)]
+        assert "README.md" in paths
+        assert "API.md" in paths
+        assert "AUTOSCALING.md" in paths
+
+    def test_repo_docs_have_no_broken_links(self):
+        result = check_docs(root=REPO_ROOT, execute=False)
+        assert result.ok, result.render()

@@ -7,6 +7,7 @@ from repro.figures import available_figures, render_figure
 
 def test_available_figures_lists_all():
     assert available_figures() == [
+        "autoscale",
         "fig10_11",
         "fig12_13",
         "fig14_15",
