@@ -31,6 +31,7 @@ from pathlib import Path
 from repro.apps.executables import Executable
 from repro.classiccloud.localstore import LocalBlobStore
 from repro.core.task import RunResult, TaskRecord, TaskSpec
+from repro.lint.threadsan import monitor, monitor_lock
 from repro.obs.context import current as _current_obs
 
 __all__ = ["LocalClassicCloud", "LocalMessage", "LocalQueue"]
@@ -57,14 +58,21 @@ class LocalQueue:
         if visibility_timeout_s <= 0:
             raise ValueError("visibility timeout must be positive")
         self.visibility_timeout_s = visibility_timeout_s
-        self._lock = threading.Lock()
+        # Under REPRO_SANITIZE=threads these become monitored objects
+        # (repro.lint.threadsan); in normal runs they are the plain
+        # stdlib types, untouched.
+        self._lock = monitor_lock("LocalQueue._lock")
         self._ids = itertools.count()
         self._receipts = itertools.count(1)
-        self._visible: deque[int] = deque()
-        self._bodies: dict[int, object] = {}
-        self._receive_counts: dict[int, int] = {}
+        self._visible: deque[int] = monitor(deque(), "LocalQueue._visible")
+        self._bodies: dict[int, object] = monitor({}, "LocalQueue._bodies")
+        self._receive_counts: dict[int, int] = monitor(
+            {}, "LocalQueue._receive_counts"
+        )
         # message_id -> (reappear deadline, current receipt)
-        self._inflight: dict[int, tuple[float, int]] = {}
+        self._inflight: dict[int, tuple[float, int]] = monitor(
+            {}, "LocalQueue._inflight"
+        )
         self.reappearances = 0
 
     def send(self, body: object) -> int:
@@ -181,11 +189,13 @@ class LocalClassicCloud:
         for task in tasks:
             queue.send(task)
         all_ids = {t.task_id for t in tasks}
-        completed: set[str] = set()
-        records: list[TaskRecord] = []
-        lock = threading.Lock()
+        completed: set[str] = monitor(set(), "LocalClassicCloud.completed")
+        records: list[TaskRecord] = monitor([], "LocalClassicCloud.records")
+        lock = monitor_lock("LocalClassicCloud.run.lock")
         done = threading.Event()
-        errors: list[BaseException] = []
+        errors: list[BaseException] = monitor(
+            [], "LocalClassicCloud.errors"
+        )
         # Captured on the driving thread; worker threads close over it.
         obs = _current_obs()
         tracer = obs.tracer

@@ -13,9 +13,10 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
-import threading
 import time
 from pathlib import Path
+
+from repro.lint.threadsan import monitor, monitor_lock
 
 __all__ = ["LocalBlobStore"]
 
@@ -35,8 +36,11 @@ class LocalBlobStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.transfer_delay_s = transfer_delay_s
-        self._lock = threading.Lock()
-        self.stats = {"puts": 0, "gets": 0, "deletes": 0}
+        # Monitored under REPRO_SANITIZE=threads, plain otherwise.
+        self._lock = monitor_lock("LocalBlobStore._lock")
+        self.stats = monitor(
+            {"puts": 0, "gets": 0, "deletes": 0}, "LocalBlobStore.stats"
+        )
 
     def _path(self, key: str) -> Path:
         clean = key.strip("/")

@@ -1,0 +1,75 @@
+"""Lint baselines: accept known findings, fail only on new ones.
+
+A baseline is a JSON file listing fingerprints of accepted violations.
+Fingerprints are ``(path, code, message)`` — line and column are left
+out on purpose, so unrelated edits that shift a known finding by a few
+lines do not resurrect it.  Two *identical* findings in one file share
+one fingerprint; the baseline stores a count so adding a second
+occurrence of an already-baselined hazard still fails.
+
+Usage::
+
+    python -m repro lint --baseline lint-baseline.json src/
+    python -m repro lint --write-baseline lint-baseline.json src/
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.checker import LintResult
+from repro.lint.rules import Violation
+
+__all__ = ["apply_baseline", "load_baseline", "write_baseline"]
+
+_SCHEMA = "repro-lint-baseline/1"
+
+
+def _fingerprint(violation: Violation) -> str:
+    return f"{violation.path}::{violation.code}::{violation.message}"
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Fingerprint -> accepted occurrence count."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"{path}: not a lint baseline (schema={data.get('schema')!r})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: malformed baseline entries")
+    return {str(k): int(v) for k, v in entries.items()}
+
+
+def write_baseline(path: Path, result: LintResult) -> None:
+    """Record the run's violations (plus already-baselined ones) as
+    accepted, so the next run fails only on findings newer than now."""
+    entries: dict[str, int] = {}
+    for violation in list(result.violations) + list(result.baselined):
+        key = _fingerprint(violation)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {"schema": _SCHEMA, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(result: LintResult, baseline: dict[str, int]) -> None:
+    """Move baselined violations out of the failing set, in place.
+
+    The first N occurrences of a fingerprint (N = accepted count) are
+    treated as pre-existing; any excess stays a hard violation.
+    """
+    budget = dict(baseline)
+    remaining: list[Violation] = []
+    for violation in result.violations:
+        key = _fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.baselined.append(violation)
+        else:
+            remaining.append(violation)
+    result.violations = remaining

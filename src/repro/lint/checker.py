@@ -1,4 +1,4 @@
-"""File runner: parse, apply rules, honour ``# repro: noqa`` pragmas.
+"""Lint driver: parse each file once, run per-file and project passes.
 
 Suppression syntax:
 
@@ -7,6 +7,13 @@ Suppression syntax:
   (a comment-only line anywhere in the file, conventionally at the top)
 
 Unparsable files produce a single, unsuppressible ``RPR000`` violation.
+
+Every file is read and parsed exactly once per invocation: the
+:class:`ParsedFile` built here (AST + import aliases + suppression
+tables) is shared by all per-file rules *and* by the whole-program pass
+(:mod:`repro.lint.project`), which previously would have forced a
+second parse.  Project-rule findings are routed through the owning
+file's ``noqa`` tables exactly like per-file findings.
 """
 
 from __future__ import annotations
@@ -19,14 +26,17 @@ from typing import Iterable, Sequence
 
 # Import for the side effect of registering the rules.
 import repro.lint.checks  # noqa: F401
+import repro.lint.project_checks  # noqa: F401
+from repro.lint.project import ProjectModel
 from repro.lint.rules import (
     SYNTAX_ERROR_CODE,
     ParsedModule,
     Violation,
     applicable_rules,
+    project_rules,
 )
 
-__all__ = ["LintResult", "lint_file", "lint_paths"]
+__all__ = ["LintResult", "ParsedFile", "lint_file", "lint_paths", "parse_file"]
 
 _NOQA_LINE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]")
 _NOQA_FILE = re.compile(r"^\s*#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
@@ -38,6 +48,9 @@ class LintResult:
 
     violations: list[Violation] = field(default_factory=list)
     suppressed: list[Violation] = field(default_factory=list)
+    #: Pre-existing findings matched against a ``--baseline`` file; they
+    #: do not fail the run (see :mod:`repro.lint.baseline`).
+    baselined: list[Violation] = field(default_factory=list)
     files_checked: int = 0
 
     @property
@@ -47,7 +60,28 @@ class LintResult:
     def merge(self, other: "LintResult") -> None:
         self.violations.extend(other.violations)
         self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
         self.files_checked += other.files_checked
+
+
+@dataclass
+class ParsedFile:
+    """One file, parsed once, with its suppression tables."""
+
+    path: Path
+    module: ParsedModule | None  # None iff the file failed to parse
+    error: Violation | None = None  # the RPR000, when module is None
+    file_suppressed: set[str] = field(default_factory=set)
+    line_suppressed: dict[int, set[str]] = field(default_factory=dict)
+
+    def route(self, violation: Violation, result: LintResult) -> None:
+        """File findings honour this file's noqa tables."""
+        if violation.code in self.file_suppressed or violation.code in (
+            self.line_suppressed.get(violation.line, ())
+        ):
+            result.suppressed.append(violation)
+        else:
+            result.violations.append(violation)
 
 
 def _codes(match: re.Match) -> set[str]:
@@ -72,72 +106,155 @@ def _build_aliases(tree: ast.Module) -> dict[str, str]:
     return aliases
 
 
-def lint_file(
-    path: Path,
-    select: Iterable[str] | None = None,
-    ignore: Iterable[str] | None = None,
-) -> LintResult:
-    """Lint one file."""
-    result = LintResult(files_checked=1)
+def parse_file(path: Path) -> ParsedFile:
+    """Read and parse ``path`` exactly once, building suppression tables."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        result.violations.append(
-            Violation(
+        return ParsedFile(
+            path=path,
+            module=None,
+            error=Violation(
                 path=str(path),
                 line=exc.lineno or 1,
                 col=exc.offset or 0,
                 code=SYNTAX_ERROR_CODE,
                 message=f"cannot parse file: {exc.msg}",
-            )
+            ),
         )
-        return result
     lines = source.splitlines()
-    module = ParsedModule(
-        path=path, tree=tree, lines=lines, aliases=_build_aliases(tree)
+    parsed = ParsedFile(
+        path=path,
+        module=ParsedModule(
+            path=path, tree=tree, lines=lines, aliases=_build_aliases(tree)
+        ),
     )
-
-    file_suppressed: set[str] = set()
-    line_suppressed: dict[int, set[str]] = {}
     for lineno, line in enumerate(lines, start=1):
         file_match = _NOQA_FILE.search(line)
         if file_match:
-            file_suppressed |= _codes(file_match)
+            parsed.file_suppressed |= _codes(file_match)
             continue
         line_match = _NOQA_LINE.search(line)
         if line_match:
-            line_suppressed[lineno] = _codes(line_match)
+            parsed.line_suppressed[lineno] = _codes(line_match)
+    return parsed
 
-    for rule in applicable_rules(path, select=select, ignore=ignore):
-        for violation in rule.check(module):
-            if violation.code in file_suppressed or violation.code in (
-                line_suppressed.get(violation.line, ())
-            ):
-                result.suppressed.append(violation)
+
+def _run_file_pass(
+    parsed: ParsedFile,
+    result: LintResult,
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> None:
+    if parsed.module is None:
+        assert parsed.error is not None
+        result.violations.append(parsed.error)
+        return
+    for rule in applicable_rules(parsed.path, select=select, ignore=ignore):
+        for violation in rule.check(parsed.module):
+            parsed.route(violation, result)
+
+
+def _run_project_pass(
+    parsed_files: Sequence[ParsedFile],
+    result: LintResult,
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> None:
+    rules = project_rules(select=select, ignore=ignore)
+    if not rules:
+        return
+    by_path = {str(p.path): p for p in parsed_files}
+    model = ProjectModel.build(
+        [p.module for p in parsed_files if p.module is not None]
+    )
+    for rule in rules:
+        for violation in rule.check_project(model):
+            owner = by_path.get(violation.path)
+            if owner is not None:
+                owner.route(violation, result)
             else:
                 result.violations.append(violation)
+
+
+def _lint_parsed(
+    parsed_files: Sequence[ParsedFile],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    project_pass: bool = True,
+    file_pass: bool = True,
+) -> LintResult:
+    result = LintResult(files_checked=len(parsed_files))
+    if file_pass:
+        for parsed in parsed_files:
+            _run_file_pass(parsed, result, select, ignore)
+    if project_pass:
+        _run_project_pass(parsed_files, result, select, ignore)
     result.violations.sort()
     return result
+
+
+def lint_file(
+    path: Path,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint one file (both passes, with a single-file project model)."""
+    return _lint_parsed([parse_file(Path(path))], select=select, ignore=ignore)
+
+
+def collect_files(
+    paths: Sequence[str | Path],
+    exclude: Iterable[str] | None = None,
+) -> list[Path]:
+    """Expand files/directories into a deduplicated, ordered file list.
+
+    ``exclude`` names directories skipped during recursion (a file given
+    explicitly is always linted, even under an excluded directory).
+    """
+    excluded = set(exclude or ())
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = [
+                f
+                for f in sorted(path.rglob("*.py"))
+                if not excluded.intersection(f.parts)
+            ]
+        elif path.exists():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for file in candidates:
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(file)
+    return files
 
 
 def lint_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    exclude: Iterable[str] | None = None,
+    rules: str = "all",
 ) -> LintResult:
-    """Lint files and/or directories (recursing into ``*.py``)."""
-    result = LintResult()
-    files: list[Path] = []
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.exists():
-            files.append(path)
-        else:
-            raise FileNotFoundError(f"no such file or directory: {path}")
-    for file in files:
-        result.merge(lint_file(file, select=select, ignore=ignore))
-    result.violations.sort()
-    return result
+    """Lint files and/or directories (recursing into ``*.py``).
+
+    ``rules`` picks the pass: ``"file"`` (RPR0xx only), ``"project"``
+    (RPR1xx only) or ``"all"`` (both, the default).
+    """
+    if rules not in ("file", "project", "all"):
+        raise ValueError(f"rules must be file|project|all, got {rules!r}")
+    parsed_files = [parse_file(f) for f in collect_files(paths, exclude)]
+    return _lint_parsed(
+        parsed_files,
+        select=select,
+        ignore=ignore,
+        file_pass=rules in ("file", "all"),
+        project_pass=rules in ("project", "all"),
+    )

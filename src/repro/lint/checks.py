@@ -225,6 +225,10 @@ class FloatTimeEqualityRule(Rule):
                 other = right if timey is left else left
                 if isinstance(other, ast.Constant) and other.value is None:
                     continue
+                if self._is_approx(other):
+                    # x == pytest.approx(y) is the sanctioned tolerance
+                    # comparison, not a raw float equality.
+                    continue
                 name = self._symbol(timey)
                 yield self.violation(
                     module,
@@ -232,6 +236,15 @@ class FloatTimeEqualityRule(Rule):
                     f"float equality on simulated-time value {name!r}; "
                     "use ordering comparisons or a tolerance",
                 )
+
+    @staticmethod
+    def _is_approx(node: ast.expr) -> bool:
+        func = node.func if isinstance(node, ast.Call) else None
+        if isinstance(func, ast.Attribute):
+            return func.attr == "approx"
+        if isinstance(func, ast.Name):
+            return func.id == "approx"
+        return False
 
     @classmethod
     def _is_time_like(cls, node: ast.expr) -> bool:

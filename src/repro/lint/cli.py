@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.checker import lint_paths
 from repro.lint.report import format_human, format_json, format_rule_listing
 from repro.lint.rules import RULE_REGISTRY
@@ -16,9 +18,13 @@ def add_lint_parser(sub) -> argparse.ArgumentParser:
         "lint",
         help="statically check determinism invariants (RPR001...)",
         description=(
-            "AST-based determinism linter for the simulation code: "
-            "wall-clock access, global RNG, set iteration, mutable "
-            "defaults, float time equality, heap tiebreakers."
+            "AST-based determinism linter for the simulation code. "
+            "Per-file rules (RPR0xx) check wall-clock access, global "
+            "RNG, set iteration, mutable defaults, float time equality "
+            "and heap tiebreakers; whole-program rules (RPR1xx) build a "
+            "call graph over every linted file and check unlocked "
+            "shared state on threaded paths, lock-order cycles, sim "
+            "purity, process-pool pickling and tracer span leaks."
         ),
     )
     parser.add_argument(
@@ -30,12 +36,37 @@ def add_lint_parser(sub) -> argparse.ArgumentParser:
         help="output format",
     )
     parser.add_argument(
+        "--rules", choices=("file", "project", "all"), default="all",
+        help=(
+            "which pass to run: per-file rules, whole-program rules, "
+            "or both (default: all)"
+        ),
+    )
+    parser.add_argument(
         "--select", default=None,
         help="comma-separated rule codes to run (default: all)",
     )
     parser.add_argument(
         "--ignore", default=None,
         help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None, metavar="DIRNAME",
+        help=(
+            "directory name to skip while recursing (repeatable); "
+            "explicitly listed files are always linted"
+        ),
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "accept findings recorded in FILE; only findings not in the "
+            "baseline fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="record the current findings into FILE and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -51,7 +82,7 @@ def _split(codes: str | None) -> list[str] | None:
 
 
 def cmd_lint(args, out) -> int:
-    """Run the linter; exit 0 iff no violations."""
+    """Run the linter; exit 0 iff no (non-baselined) violations."""
     if args.list_rules:
         print(format_rule_listing(), file=out)
         return 0
@@ -67,11 +98,31 @@ def cmd_lint(args, out) -> int:
                 return 2
     try:
         result = lint_paths(
-            args.paths, select=_split(args.select), ignore=_split(args.ignore)
+            args.paths,
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+            exclude=args.exclude,
+            rules=args.rules,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=out)
         return 2
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=out)
+            return 2
+        apply_baseline(result, baseline)
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), result)
+        total = len(result.violations) + len(result.baselined)
+        print(
+            f"wrote baseline with {total} finding"
+            f"{'' if total == 1 else 's'} to {args.write_baseline}",
+            file=out,
+        )
+        return 0
     if args.format == "json":
         print(format_json(result), file=out)
     else:

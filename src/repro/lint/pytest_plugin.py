@@ -1,11 +1,17 @@
-"""Pytest integration for the runtime sanitizer.
+"""Pytest integration for the runtime sanitizers.
 
-Registered from ``tests/conftest.py``.  Two entry points:
+Registered from ``tests/conftest.py``.  Entry points:
 
 * ``pytest --repro-sanitize`` sets ``REPRO_SANITIZE=1`` for the whole
   session, so every simulated backend that builds its event loop through
   :func:`repro.sim.engine.make_environment` runs on a
   :class:`~repro.lint.sanitizer.SanitizedEnvironment`;
+* ``pytest --repro-sanitize-threads`` installs a fresh
+  :class:`~repro.lint.threadsan.ThreadSanitizer` around every test (and
+  exports ``REPRO_SANITIZE=threads`` for worker subprocesses); a test
+  whose threaded runtimes produce lock-order inversions or
+  unsynchronized cross-thread writes fails at teardown with the
+  findings formatted by :mod:`repro.lint.report`;
 * the ``sanitized_env`` fixture hands a test an instrumented
   environment and fails the test at teardown if the sanitizer caught a
   kernel-contract violation or a queue leak.
@@ -17,11 +23,13 @@ import os
 
 import pytest
 
+from repro.lint import threadsan
 from repro.lint.sanitizer import SanitizedEnvironment
 
 __all__ = ["sanitized_env"]
 
 _OPTION = "--repro-sanitize"
+_THREADS_OPTION = "--repro-sanitize-threads"
 
 
 def pytest_addoption(parser) -> None:
@@ -33,16 +41,61 @@ def pytest_addoption(parser) -> None:
         help="run simulated backends under the determinism sanitizer "
         "(sets REPRO_SANITIZE=1)",
     )
+    group.addoption(
+        _THREADS_OPTION,
+        action="store_true",
+        default=False,
+        help="run threaded runtimes under the thread sanitizer; tests "
+        "fail on lock-order inversions or unsynchronized writes "
+        "(sets REPRO_SANITIZE=threads)",
+    )
+
+
+def _add_token(token: str) -> None:
+    tokens = threadsan.sanitize_tokens(os.environ.get("REPRO_SANITIZE"))
+    tokens.add(token)
+    os.environ["REPRO_SANITIZE"] = ",".join(sorted(tokens))
 
 
 def pytest_configure(config) -> None:
     if config.getoption(_OPTION):
-        os.environ["REPRO_SANITIZE"] = "1"
+        _add_token("1")
+    if config.getoption(_THREADS_OPTION):
+        _add_token("threads")
 
 
 def pytest_report_header(config) -> str:
-    enabled = config.getoption(_OPTION) or bool(os.environ.get("REPRO_SANITIZE"))
-    return f"repro sanitizer: {'on' if enabled else 'off'}"
+    tokens = threadsan.sanitize_tokens(os.environ.get("REPRO_SANITIZE"))
+    enabled = config.getoption(_OPTION) or bool(tokens - {"threads"})
+    threads = config.getoption(_THREADS_OPTION) or bool(
+        tokens & {"threads", "all"}
+    )
+    return (
+        f"repro sanitizer: {'on' if enabled else 'off'} "
+        f"(threads: {'on' if threads else 'off'})"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _thread_sanitizer(request):
+    """Per-test ThreadSanitizer when ``--repro-sanitize-threads`` is on.
+
+    A fresh sanitizer per test keeps acquisition-order graphs and
+    object states from leaking across tests; findings fail the test at
+    teardown.  Without the option this fixture is inert.
+    """
+    if not request.config.getoption(_THREADS_OPTION):
+        yield None
+        return
+    sanitizer = threadsan.install(threadsan.ThreadSanitizer())
+    yield sanitizer
+    threadsan.uninstall()
+    report = sanitizer.report()
+    if report.issues:
+        pytest.fail(
+            "thread sanitizer caught issues:\n" + report.summary(),
+            pytrace=False,
+        )
 
 
 @pytest.fixture

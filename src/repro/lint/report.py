@@ -13,10 +13,13 @@ __all__ = ["format_human", "format_json", "format_rule_listing"]
 def format_human(result: LintResult) -> str:
     """flake8-style one-line-per-violation text plus a summary."""
     lines = [violation.format() for violation in result.violations]
+    baseline_note = (
+        f", {len(result.baselined)} baselined" if result.baselined else ""
+    )
     summary = (
         f"{len(result.violations)} violation"
         f"{'' if len(result.violations) == 1 else 's'} "
-        f"({len(result.suppressed)} suppressed) "
+        f"({len(result.suppressed)} suppressed{baseline_note}) "
         f"in {result.files_checked} file"
         f"{'' if result.files_checked == 1 else 's'}"
     )
@@ -24,22 +27,33 @@ def format_human(result: LintResult) -> str:
     return "\n".join(lines)
 
 
+def _violation_dicts(violations) -> list[dict]:
+    return [
+        {
+            "path": v.path,
+            "line": v.line,
+            "col": v.col,
+            "code": v.code,
+            "message": v.message,
+        }
+        for v in violations
+    ]
+
+
 def format_json(result: LintResult) -> str:
-    """Stable JSON document for CI and tooling."""
+    """Stable JSON document for CI and tooling (schema v2).
+
+    v2 adds ``schema`` and the ``baselined`` list; ``ok``,
+    ``files_checked``, ``suppressed`` and ``violations`` keep their v1
+    shape so existing consumers keep working.
+    """
     payload = {
+        "schema": "repro-lint/2",
         "ok": result.ok,
         "files_checked": result.files_checked,
         "suppressed": len(result.suppressed),
-        "violations": [
-            {
-                "path": v.path,
-                "line": v.line,
-                "col": v.col,
-                "code": v.code,
-                "message": v.message,
-            }
-            for v in result.violations
-        ],
+        "baselined": _violation_dicts(result.baselined),
+        "violations": _violation_dicts(result.violations),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

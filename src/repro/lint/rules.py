@@ -6,6 +6,14 @@ method that yields :class:`Violation` objects for one parsed module.
 Rules register themselves into :data:`RULE_REGISTRY` via the
 :func:`register` decorator so the checker, the CLI and the docs all
 enumerate the same set.
+
+Two rule kinds share the registry:
+
+* per-file rules (:class:`Rule`, codes ``RPR0xx``) see one
+  :class:`ParsedModule` at a time;
+* whole-program rules (:class:`ProjectRule`, codes ``RPR1xx``) see a
+  :class:`repro.lint.project.ProjectModel` — every linted file parsed
+  once, with a call graph — and reason across call boundaries.
 """
 
 from __future__ import annotations
@@ -17,12 +25,15 @@ from typing import Iterable, Iterator
 
 __all__ = [
     "ParsedModule",
+    "ProjectRule",
     "RULE_REGISTRY",
     "Rule",
     "SYNTAX_ERROR_CODE",
     "Violation",
     "all_rules",
     "applicable_rules",
+    "file_rules",
+    "project_rules",
     "register",
 ]
 
@@ -106,6 +117,35 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base for whole-program rules: implement ``check_project``.
+
+    A project rule never runs per file; the checker hands it the full
+    :class:`~repro.lint.project.ProjectModel` once per lint invocation
+    and routes the resulting violations through each file's ``noqa``
+    suppression tables, exactly like per-file findings.
+    """
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:
+        raise NotImplementedError(
+            f"{self.code} is a project rule; use check_project"
+        )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def project_violation(
+        self, path, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=str(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
 RULE_REGISTRY: dict[str, Rule] = {}
 
 
@@ -125,17 +165,39 @@ def all_rules() -> list[Rule]:
     return [RULE_REGISTRY[code] for code in sorted(RULE_REGISTRY)]
 
 
-def applicable_rules(
-    path: Path,
+def file_rules() -> list[Rule]:
+    """Registered per-file rules only."""
+    return [r for r in all_rules() if not isinstance(r, ProjectRule)]
+
+
+def project_rules(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
 ) -> list[Rule]:
-    """Rules active for ``path`` after --select / --ignore filtering."""
+    """Registered whole-program rules after select/ignore filtering."""
     selected = set(select) if select else None
     ignored = set(ignore) if ignore else set()
     return [
         rule
         for rule in all_rules()
+        if isinstance(rule, ProjectRule)
+        and (selected is None or rule.code in selected)
+        and rule.code not in ignored
+    ]
+
+
+def applicable_rules(
+    path: Path,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Per-file rules active for ``path`` after --select / --ignore
+    filtering (project rules run once per invocation, not per file)."""
+    selected = set(select) if select else None
+    ignored = set(ignore) if ignore else set()
+    return [
+        rule
+        for rule in file_rules()
         if rule.applies_to(path)
         and (selected is None or rule.code in selected)
         and rule.code not in ignored

@@ -627,9 +627,20 @@ def make_environment(
     to keep the kernel free of lint dependencies); otherwise a plain
     :class:`Environment`.  Every simulated backend builds its event loop
     through this factory.
+
+    ``REPRO_SANITIZE`` is a token list: ``1``/``true``/``sim``/``all``
+    enable this DES sanitizer; a bare ``threads`` enables only the
+    thread sanitizer (:mod:`repro.lint.threadsan`) and must *not* put
+    the simulation on the instrumented loop.
     """
     if sanitize is None:
-        sanitize = bool(os.environ.get("REPRO_SANITIZE"))
+        raw = os.environ.get("REPRO_SANITIZE", "")
+        tokens = {
+            token
+            for token in raw.replace(",", " ").lower().split()
+            if token
+        }
+        sanitize = bool(tokens - {"threads", "0", "false", "off"})
     if sanitize:
         from repro.lint.sanitizer import SanitizedEnvironment
 

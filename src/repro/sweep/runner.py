@@ -68,7 +68,12 @@ def resolve_jobs(jobs: "int | None" = None) -> int:
 
 
 def _sanitizing() -> bool:
-    return bool(os.environ.get("REPRO_SANITIZE"))
+    # Only DES-sanitizing tokens bypass the cache: the thread sanitizer
+    # (REPRO_SANITIZE=threads) instruments the *threaded* runtimes and
+    # does not change simulated results, so cached points stay valid.
+    raw = os.environ.get("REPRO_SANITIZE", "")
+    tokens = {t for t in raw.replace(",", " ").lower().split() if t}
+    return bool(tokens - {"threads", "0", "false", "off"})
 
 
 def run_points(

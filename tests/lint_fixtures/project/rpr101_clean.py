@@ -1,0 +1,17 @@
+"""RPR101 clean: the threaded mutation is under the module lock."""
+
+import threading
+
+RESULTS: dict = {}
+_LOCK = threading.Lock()
+
+
+def worker() -> None:
+    with _LOCK:
+        RESULTS["answer"] = 42
+
+
+def launch() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

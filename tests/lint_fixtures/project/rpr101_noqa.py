@@ -1,0 +1,15 @@
+"""RPR101 noqa: the unlocked mutation carries a justification."""
+
+import threading
+
+RESULTS: dict = {}
+
+
+def worker() -> None:
+    RESULTS["answer"] = 42  # repro: noqa[RPR101] single writer by design
+
+
+def launch() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

@@ -1,0 +1,17 @@
+"""RPR101 file-level noqa: the whole module opts out of the rule."""
+
+# repro: noqa-file[RPR101]: fixture exercising file-level suppression
+
+import threading
+
+RESULTS: dict = {}
+
+
+def worker() -> None:
+    RESULTS["answer"] = 42
+
+
+def launch() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

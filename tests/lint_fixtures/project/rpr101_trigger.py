@@ -1,0 +1,16 @@
+"""RPR101 trigger: module state mutated on a threaded path, no lock."""
+
+import threading
+
+RESULTS: dict = {}
+_LOCK = threading.Lock()
+
+
+def worker() -> None:
+    RESULTS["answer"] = 42
+
+
+def launch() -> None:
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()

@@ -1,0 +1,18 @@
+"""RPR102 clean: every path takes the locks in the same order."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward() -> None:
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def also_forward() -> None:
+    with lock_a:
+        with lock_b:
+            pass

@@ -1,0 +1,18 @@
+"""RPR102 noqa: the inversion witness site carries a justification."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward() -> None:
+    with lock_a:
+        with lock_b:  # repro: noqa[RPR102] orders serialized by caller
+            pass
+
+
+def backward() -> None:
+    with lock_b:
+        with lock_a:
+            pass

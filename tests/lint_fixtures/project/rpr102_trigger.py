@@ -1,0 +1,18 @@
+"""RPR102 trigger: two locks taken in opposite orders on two paths."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def forward() -> None:
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def backward() -> None:
+    with lock_b:
+        with lock_a:
+            pass

@@ -1,0 +1,15 @@
+"""RPR103 clean: the callback chain reads simulated time only."""
+
+
+class Runner:
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def start(self) -> None:
+        self.env.process(self._driver())
+
+    def _driver(self):
+        yield self._step()
+
+    def _step(self) -> float:
+        return self.env.now

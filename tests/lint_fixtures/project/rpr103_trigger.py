@@ -1,0 +1,17 @@
+"""RPR103 trigger: wall clock reached through a sim event callback."""
+
+import time
+
+
+class Runner:
+    def __init__(self, env) -> None:
+        self.env = env
+
+    def start(self) -> None:
+        self.env.process(self._driver())
+
+    def _driver(self):
+        yield self._step()
+
+    def _step(self) -> float:
+        return time.time()

@@ -1,0 +1,13 @@
+"""RPR104 clean: a module-level function is picklable."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def double(x):
+    return x * 2
+
+
+def sweep(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, item) for item in items]
+    return [future.result() for future in futures]

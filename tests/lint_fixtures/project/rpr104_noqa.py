@@ -1,0 +1,12 @@
+"""RPR104 noqa: the capture carries a justification."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [
+            pool.submit(lambda x: x * 2, item)  # repro: noqa[RPR104] fork-only pool
+            for item in items
+        ]
+    return [future.result() for future in futures]

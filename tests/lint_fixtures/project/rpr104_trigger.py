@@ -1,0 +1,9 @@
+"""RPR104 trigger: a lambda shipped to a ProcessPoolExecutor."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda x: x * 2, item) for item in items]
+    return [future.result() for future in futures]

@@ -1,0 +1,18 @@
+"""RPR105 clean: spans closed by with-statements, directly or by name."""
+
+
+def process(item):
+    return item
+
+
+def record(tracer, items):
+    with tracer.span("work"):
+        for item in items:
+            process(item)
+
+
+def record_by_handle(tracer, items):
+    handle = tracer.span("work")
+    with handle:
+        for item in items:
+            process(item)

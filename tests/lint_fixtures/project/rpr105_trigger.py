@@ -1,0 +1,12 @@
+"""RPR105 trigger: a span opened outside any with-statement."""
+
+
+def process(item):
+    return item
+
+
+def record(tracer, items):
+    span = tracer.span("work")
+    for item in items:
+        process(item)
+    return span

@@ -80,7 +80,7 @@ class TestHappyPath:
         tasks = cap3_task_specs(20, reads_per_file=200)
         a = ClassicCloudFramework(small_config(seed=42)).run(cap3, tasks)
         b = ClassicCloudFramework(small_config(seed=42)).run(cap3, tasks)
-        assert a.makespan_seconds == b.makespan_seconds
+        assert a.makespan_seconds == b.makespan_seconds  # repro: noqa[RPR005] exact: determinism contract
         assert a.billing.total_cost == b.billing.total_cost
 
     def test_billing_populated(self, cap3):

@@ -184,7 +184,7 @@ class TestDryadSimulator:
         tasks = cap3_task_specs(24, reads_per_file=200)
         a = DryadLinqSimulator(dryad_config()).run(cap3, tasks)
         b = DryadLinqSimulator(dryad_config()).run(cap3, tasks)
-        assert a.makespan_seconds == b.makespan_seconds
+        assert a.makespan_seconds == b.makespan_seconds  # repro: noqa[RPR005] exact: determinism contract
 
     def test_empty_tasks_rejected(self, cap3):
         with pytest.raises(ValueError):

@@ -151,7 +151,7 @@ class TestHadoopSimulator:
         tasks = cap3_task_specs(24, reads_per_file=200)
         a = HadoopSimulator(hadoop_config(seed=9)).run(cap3, tasks)
         b = HadoopSimulator(hadoop_config(seed=9)).run(cap3, tasks)
-        assert a.makespan_seconds == b.makespan_seconds
+        assert a.makespan_seconds == b.makespan_seconds  # repro: noqa[RPR005] exact: determinism contract
 
     def test_more_nodes_faster(self, cap3):
         tasks = cap3_task_specs(64, reads_per_file=200)

@@ -37,7 +37,7 @@ def test_cap3_trace_is_byte_identical_across_replays():
     trace1, trace2 = env1.trace_text(), env2.trace_text()
     assert trace1  # the sanitizer actually recorded something
     assert trace1.encode("utf-8") == trace2.encode("utf-8")
-    assert result1.makespan_seconds == result2.makespan_seconds
+    assert result1.makespan_seconds == result2.makespan_seconds  # repro: noqa[RPR005] exact: determinism contract
 
 
 def test_different_seed_changes_the_trace():

@@ -141,7 +141,7 @@ class TestEventReuse:
             return sorted(first.values())
 
         assert env.run(until=env.process(proc(env))) == ["quick"]
-        assert env.now == 1.0
+        assert env.now == 1.0  # repro: noqa[RPR005] exact: determinism contract
 
 
 class TestStoreBackPressure:
@@ -206,7 +206,7 @@ class TestClockDiscipline:
         env.process(late(env))
         env.run(until=50.0)
         assert fired == []
-        assert env.now == 50.0
+        assert env.now == 50.0  # repro: noqa[RPR005] exact: determinism contract
         env.run()  # resume to exhaustion
         assert fired == [100.0]
 

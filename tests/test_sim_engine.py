@@ -21,7 +21,7 @@ def test_timeout_advances_clock():
 
     p = env.process(proc(env))
     assert env.run(until=p) == 5.0
-    assert env.now == 5.0
+    assert env.now == 5.0  # repro: noqa[RPR005] exact: determinism contract
 
 
 def test_timeout_value_passthrough():
@@ -267,7 +267,7 @@ def test_run_until_time_stops_and_sets_clock():
     env.process(ticker(env))
     env.run(until=7.5)
     assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
-    assert env.now == 7.5
+    assert env.now == 7.5  # repro: noqa[RPR005] exact: determinism contract
 
 
 def test_run_until_event_deadlock_detection():
@@ -341,12 +341,12 @@ def test_nested_processes_three_deep():
         return value + 1
 
     assert env.run(until=env.process(parent(env))) == 3
-    assert env.now == 3.0
+    assert env.now == 3.0  # repro: noqa[RPR005] exact: determinism contract
 
 
 def test_environment_initial_time():
     env = Environment(initial_time=100.0)
-    assert env.now == 100.0
+    assert env.now == 100.0  # repro: noqa[RPR005] exact: determinism contract
 
     def proc(env):
         yield env.timeout(5.0)

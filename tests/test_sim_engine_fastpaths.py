@@ -44,7 +44,7 @@ class TestSameTimeLane:
         assert fired == [
             value for i in range(5) for value in (("a", i), ("b", i))
         ]
-        assert env.now == 0.0
+        assert env.now == 0.0  # repro: noqa[RPR005] exact: determinism contract
 
     @pytest.mark.parametrize("env_cls", ENVS, ids=_ids)
     def test_lane_and_heap_interleave_by_sequence(self, env_cls):
@@ -117,7 +117,7 @@ class TestSameTimeLane:
         sanitized = SanitizedEnvironment()
         workload(sanitized, sanitized_log)
         assert plain_log == sanitized_log
-        assert plain.now == sanitized.now
+        assert plain.now == sanitized.now  # repro: noqa[RPR005] exact: determinism contract
 
 
 class TestInterruptDetach:

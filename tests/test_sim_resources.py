@@ -24,7 +24,7 @@ def test_resource_capacity_limits_concurrency():
         env.process(worker(env, tag))
     env.run()
     assert max(peak) == 2
-    assert env.now == 30.0  # 5 jobs of 10s through 2 slots: ceil(5/2)*10
+    assert env.now == 30.0  # 5 jobs of 10s through 2 slots: ceil(5/2)*10  # repro: noqa[RPR005] exact: determinism contract
 
 
 def test_resource_fifo_grant_order():
