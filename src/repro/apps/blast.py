@@ -217,40 +217,54 @@ def _query_words(
 
     Positions inside low-complexity regions are skipped when filtering
     is enabled — they would otherwise seed floods of spurious hits.
+
+    Scoring is vectorized: every candidate single-substitution variant
+    of every window is scored in one broadcast against BLOSUM62, and
+    probes are emitted in the same (position, word position,
+    replacement) order the scalar loops used, so downstream diagonal
+    bucketing sees an identical stream.
     """
     k = params.word_size
+    n = len(enc)
+    if n < k:
+        return []
     base = enc.astype(np.uint8).tobytes()
-    masked = None
+    windows = np.lib.stride_tricks.sliding_window_view(enc, k)
     if params.low_complexity_filter is not None:
         masked = mask_low_complexity(enc, params.low_complexity_filter)
-    probes: list[tuple[int, bytes]] = []
-    for pos in range(0, len(base) - k + 1):
-        if masked is not None and masked[pos : pos + k].any():
-            continue
-        word = base[pos : pos + k]
-        probes.append((pos, word))
-        if params.neighborhood_threshold is None:
-            continue
-        # Neighbourhood: single-substitution variants scoring >= T
-        # against the query word (true BLASTP admits any word >= T; one
-        # substitution captures the overwhelming majority for k=3).
-        exact = sum(
-            int(_BLOSUM62[word[i], word[i]]) for i in range(k)
+        allowed = ~np.lib.stride_tricks.sliding_window_view(masked, k).any(
+            axis=1
         )
-        for i in range(k):
-            original = word[i]
-            for replacement in range(len(AMINO_ACIDS)):
-                if replacement == original:
-                    continue
-                score = (
-                    exact
-                    - int(_BLOSUM62[original, original])
-                    + int(_BLOSUM62[original, replacement])
-                )
-                if score >= params.neighborhood_threshold:
-                    variant = bytearray(word)
-                    variant[i] = replacement
-                    probes.append((pos, bytes(variant)))
+        positions = np.nonzero(allowed)[0]
+    else:
+        positions = np.arange(len(windows))
+    if params.neighborhood_threshold is None:
+        return [(pos, base[pos : pos + k]) for pos in positions.tolist()]
+
+    # Neighbourhood: single-substitution variants scoring >= T against
+    # the query word (true BLASTP admits any word >= T; one substitution
+    # captures the overwhelming majority for k=3).  score[q, i, r] is
+    # the exact self-score of window q with position i replaced by r.
+    kept = windows[positions]  # (Q, k)
+    diag = np.ascontiguousarray(np.diagonal(_BLOSUM62))
+    self_scores = diag[kept]  # (Q, k)
+    exact = self_scores.sum(axis=1)  # (Q,)
+    scores = (
+        exact[:, None, None] - self_scores[:, :, None] + _BLOSUM62[kept]
+    )
+    admit = scores >= params.neighborhood_threshold
+    admit &= kept[:, :, None] != np.arange(len(AMINO_ACIDS))[None, None, :]
+    # C-order nonzero == the scalar loop's (q, i, replacement) order.
+    q_idx, i_idx, r_idx = np.nonzero(admit)
+    variants = kept[q_idx].astype(np.uint8)
+    variants[np.arange(len(q_idx)), i_idx] = r_idx
+    variant_bytes = variants.tobytes()
+    bounds = np.searchsorted(q_idx, np.arange(len(kept) + 1))
+    probes: list[tuple[int, bytes]] = []
+    for q, pos in enumerate(positions.tolist()):
+        probes.append((pos, base[pos : pos + k]))
+        for v in range(bounds[q], bounds[q + 1]):
+            probes.append((pos, variant_bytes[v * k : (v + 1) * k]))
     return probes
 
 
@@ -271,39 +285,64 @@ def _ungapped_extend(
             query[q_pos : q_pos + word_size], subject[s_pos : s_pos + word_size]
         ].sum()
     )
+    # Both directions run as one batched scan each: gather the whole
+    # diagonal's substitution scores, cumulative-sum them, and cut at
+    # the first X-drop.  Every partial sum is a small integer, exactly
+    # representable in float64, so this matches the scalar per-step
+    # arithmetic bit for bit.
     # Extend right.
-    best = running = seed_score
-    best_right = 0
-    i = 0
-    while True:
-        qi, si = q_pos + word_size + i, s_pos + word_size + i
-        if qi >= len(query) or si >= len(subject):
-            break
-        running += int(_BLOSUM62[query[qi], subject[si]])
-        i += 1
-        if running > best:
-            best, best_right = running, i
-        elif best - running > xdrop:
-            break
+    best, best_right = _scan_extend(
+        seed_score,
+        seed_score,
+        query[q_pos + word_size :],
+        subject[s_pos + word_size :],
+        xdrop,
+    )
     # Extend left.
-    running = best
-    best_left = 0
-    i = 0
-    while True:
-        qi, si = q_pos - 1 - i, s_pos - 1 - i
-        if qi < 0 or si < 0:
-            break
-        running += int(_BLOSUM62[query[qi], subject[si]])
-        i += 1
-        if running > best:
-            best, best_left = running, i
-        elif best - running > xdrop:
-            break
+    best, best_left = _scan_extend(
+        best,
+        best,
+        query[q_pos - 1 :: -1] if q_pos > 0 else query[:0],
+        subject[s_pos - 1 :: -1] if s_pos > 0 else subject[:0],
+        xdrop,
+    )
     q_start = q_pos - best_left
     s_start = s_pos - best_left
     q_end = q_pos + word_size + best_right
     s_end = s_pos + word_size + best_right
     return q_start, q_end, s_start, s_end, best
+
+
+def _scan_extend(
+    start_score: float,
+    best: float,
+    query_tail: np.ndarray,
+    subject_tail: np.ndarray,
+    xdrop: float,
+) -> tuple[float, int]:
+    """One X-drop scan: walk paired residues accumulating from
+    ``start_score``; returns (best score, steps to the best prefix).
+
+    The stop rule reproduces the scalar loop exactly: the scan ends at
+    the first step whose running score falls more than ``xdrop`` below
+    the best seen so far (that step is still examined), and the
+    reported best is the *first* maximum of the prefix walked.
+    """
+    steps = min(len(query_tail), len(subject_tail))
+    if steps == 0:
+        return best, 0
+    running = start_score + np.cumsum(
+        _BLOSUM62[query_tail[:steps], subject_tail[:steps]]
+    )
+    high_water = np.maximum.accumulate(running)
+    np.maximum(high_water, start_score, out=high_water)
+    drops = (high_water - running) > xdrop
+    stop = int(np.argmax(drops)) if drops.any() else steps - 1
+    walked = running[: stop + 1]
+    peak = int(np.argmax(walked))
+    if walked[peak] > best:
+        return float(walked[peak]), peak + 1
+    return best, 0
 
 
 def _banded_sw(

@@ -179,6 +179,45 @@ def _encode(seq: str) -> np.ndarray:
     return np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
 
 
+# Base-5 digit per ACGTN byte, for packed k-mer codes.
+_KMER_DIGIT = np.zeros(256, dtype=np.int64)
+for _i, _b in enumerate(b"ACGTN"):
+    _KMER_DIGIT[_b] = _i
+
+
+def _seed_keys(arr: np.ndarray, k: int) -> list:
+    """Hashable key for every k-mer window of an encoded read.
+
+    Windows are packed into base-5 integers in one vectorized matmul —
+    injective for the post-trim ACGTN alphabet, so the codes stand in
+    for the byte substrings the scalar version sliced out one by one.
+    Falls back to byte slicing for k too large to pack into an int64.
+    """
+    if len(arr) < k:
+        return []
+    if k <= 27:  # 5**27 still fits in int64
+        powers = 5 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            _KMER_DIGIT[arr], k
+        )
+        return (windows @ powers).tolist()
+    seq_bytes = arr.tobytes()
+    return [
+        seq_bytes[pos : pos + k] for pos in range(len(seq_bytes) - k + 1)
+    ]
+
+
+def _seed_index(
+    arrays: list[np.ndarray], k: int
+) -> dict:
+    """k-mer -> [(read index, position)] postings over every read."""
+    index: dict = {}
+    for read_idx, arr in enumerate(arrays):
+        for pos, key in enumerate(_seed_keys(arr, k)):
+            index.setdefault(key, []).append((read_idx, pos))
+    return index
+
+
 def _verify_overlap(
     a_idx: int,
     b_idx: int,
@@ -221,20 +260,16 @@ def _find_overlaps(
     calibration uses).
     """
     k = params.kmer_size
-    index: dict[bytes, list[tuple[int, int]]] = {}
-    for read_idx, arr in enumerate(arrays):
-        seq_bytes = arr.tobytes()
-        for pos in range(0, len(seq_bytes) - k + 1):
-            index.setdefault(seq_bytes[pos : pos + k], []).append((read_idx, pos))
+    index = _seed_index(arrays, k)
 
     candidates = 0
     best: dict[tuple[int, int], Overlap] = {}
     for b_idx, b_arr in enumerate(arrays):
-        b_bytes = b_arr.tobytes()
-        span = max(0, min(params.max_seed_span, len(b_bytes) - k + 1))
+        b_keys = _seed_keys(b_arr, k)
+        span = max(0, min(params.max_seed_span, len(b_keys)))
         probed: set[tuple[int, int]] = set()
         for s in range(0, span, params.seed_stride):
-            seed = b_bytes[s : s + k]
+            seed = b_keys[s]
             for a_idx, a_pos in index.get(seed, ()):
                 if a_idx == b_idx:
                     continue
@@ -270,20 +305,16 @@ def _orientation_edges(
     an edge ``(a, b, same_orientation)``.
     """
     k = params.kmer_size
-    index: dict[bytes, list[tuple[int, int]]] = {}
-    for read_idx, arr in enumerate(arrays):
-        seq_bytes = arr.tobytes()
-        for pos in range(0, len(seq_bytes) - k + 1):
-            index.setdefault(seq_bytes[pos : pos + k], []).append((read_idx, pos))
+    index = _seed_index(arrays, k)
 
     edges: list[tuple[int, int, bool]] = []
     for b_idx, b_fwd in enumerate(arrays):
         for same, b_arr in ((True, b_fwd), (False, _rc_array(b_fwd))):
-            b_bytes = b_arr.tobytes()
-            span = max(0, min(params.max_seed_span, len(b_bytes) - k + 1))
+            b_keys = _seed_keys(b_arr, k)
+            span = max(0, min(params.max_seed_span, len(b_keys)))
             probed: set[tuple[int, int]] = set()
             for s in range(0, span, params.seed_stride):
-                seed = b_bytes[s : s + k]
+                seed = b_keys[s]
                 for a_idx, a_pos in index.get(seed, ()):
                     if a_idx == b_idx:
                         continue
@@ -433,7 +464,12 @@ def _consensus(
     # Real bases out-vote N wherever any read has coverage.
     counts[:, _BASE_INDEX["N"]] -= 1
     winners = counts.argmax(axis=1)
-    return "".join(_BASES[w] for w in winners), coverage
+    consensus = (
+        np.frombuffer(_BASES.encode("ascii"), dtype=np.uint8)[winners]
+        .tobytes()
+        .decode("ascii")
+    )
+    return consensus, coverage
 
 
 def assemble(

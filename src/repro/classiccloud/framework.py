@@ -473,7 +473,7 @@ class _SimRun:
         # SendMessageBatch: ten tasks per request, as real clients do.
         for start in range(0, len(self.tasks), 10):
             batch = self.tasks[start : start + 10]
-            yield self.env.process(self.task_queue.send_batch(batch))
+            yield from self.task_queue.send_batch(batch)
 
     def _accounted_tasks(self) -> int:
         """Distinct tasks that completed or were dead-lettered.
@@ -482,11 +482,13 @@ class _SimRun:
         visibility timeout) exceed the receive limit — it must not count
         twice.
         """
+        if self.dead_letter_queue is None:
+            # Hot path: the completion watcher polls this every loop turn.
+            return len(self.completed)
         accounted = set(self.completed)
-        if self.dead_letter_queue is not None:
-            accounted.update(
-                task.task_id for task in self.dead_letter_queue.peek_bodies()
-            )
+        accounted.update(
+            task.task_id for task in self.dead_letter_queue.peek_bodies()
+        )
         return len(accounted)
 
     def _completion_watcher(self):
@@ -499,13 +501,13 @@ class _SimRun:
                     f"run exceeded max_sim_seconds={deadline} with "
                     f"{missing} tasks incomplete (all workers dead?)"
                 )
-            msg = yield self.env.process(self.monitor_queue.receive())
+            msg = yield from self.monitor_queue.receive()
             if msg is None:
                 yield self.env.timeout(poll)
                 continue
             self.completed.add(msg.body)
             try:
-                yield self.env.process(self.monitor_queue.delete(msg))
+                yield from self.monitor_queue.delete(msg)
             except StaleReceiptError:
                 pass
 
@@ -529,7 +531,7 @@ class _SimRun:
                 # taking new tasks; the current task was finished first.
                 if host.draining or not host.is_running:
                     return
-                msg = yield self.env.process(self.task_queue.receive())
+                msg = yield from self.task_queue.receive()
                 if wan_latency_s:
                     yield self.env.timeout(wan_latency_s)
                 if msg is None:
@@ -561,12 +563,10 @@ class _SimRun:
                 t0 = self.env.now
                 for attempt_left in range(240, -1, -1):
                     try:
-                        yield self.env.process(
-                            self.storage.get(
-                                task.input_key,
-                                bandwidth_bps=wan_bandwidth_bps,
-                                extra_latency_s=wan_latency_s,
-                            )
+                        yield from self.storage.get(
+                            task.input_key,
+                            bandwidth_bps=wan_bandwidth_bps,
+                            extra_latency_s=wan_latency_s,
                         )
                         break
                     except BlobNotFound:
@@ -601,13 +601,11 @@ class _SimRun:
 
                 # Upload the result (idempotent overwrite on re-execution).
                 t2 = self.env.now
-                yield self.env.process(
-                    self.storage.put(
-                        task.output_key,
-                        task.output_size,
-                        bandwidth_bps=wan_bandwidth_bps,
-                        extra_latency_s=wan_latency_s,
-                    )
+                yield from self.storage.put(
+                    task.output_key,
+                    task.output_size,
+                    bandwidth_bps=wan_bandwidth_bps,
+                    extra_latency_s=wan_latency_s,
                 )
                 upload_time = self.env.now - t2
 
@@ -615,10 +613,10 @@ class _SimRun:
                 # re-delivered meanwhile — our (identical) result stands.
                 was_duplicate = not first_attempt
                 try:
-                    yield self.env.process(self.task_queue.delete(msg))
+                    yield from self.task_queue.delete(msg)
                 except StaleReceiptError:
                     was_duplicate = True
-                yield self.env.process(self.monitor_queue.send(task.task_id))
+                yield from self.monitor_queue.send(task.task_id)
 
                 self.records.append(
                     TaskRecord(

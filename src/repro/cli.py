@@ -9,7 +9,7 @@ Commands:
 * ``cost`` — the Table 4 style cloud-vs-cluster comparison for an
   arbitrary file count;
 * ``bench`` — the microbenchmark suite (kernel ops + per-app sweeps),
-  written to ``BENCH_2.json`` (:mod:`repro.sweep.bench`);
+  written to ``BENCH_3.json`` (:mod:`repro.sweep.bench`);
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed sweep result cache under ``.repro-cache/``;
 * ``trace`` — validate and summarize a Chrome ``trace_event`` JSON
@@ -145,7 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep worker processes (default: REPRO_JOBS or cpu count)",
     )
     bench_parser.add_argument(
-        "--output", default="BENCH_2.json", help="output JSON path"
+        "--output", default="BENCH_3.json", help="output JSON path"
+    )
+    bench_parser.add_argument(
+        "--gate", default=None, metavar="BASELINE",
+        help="fail if kernel events/s regress past --gate-tolerance of "
+        "this baseline BENCH JSON",
+    )
+    bench_parser.add_argument(
+        "--gate-tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="allowed kernel events/s regression fraction (default 0.10)",
     )
 
     cache_parser = sub.add_parser(
@@ -265,7 +274,21 @@ def _cmd_catalog(out) -> int:
     return 0
 
 
+def _resolved_jobs_or_none(args, out) -> "int | None":
+    """Validate the jobs policy up front so a bad ``--jobs``/``REPRO_JOBS``
+    produces a one-line error instead of a traceback mid-run."""
+    from repro.sweep.runner import resolve_jobs
+
+    try:
+        return resolve_jobs(getattr(args, "jobs", None))
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return None
+
+
 def _cmd_run(args, out) -> int:
+    if _resolved_jobs_or_none(args, out) is None:
+        return 2
     if args.sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
     app = get_application(args.app)
@@ -461,6 +484,8 @@ def _cmd_cost(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
+    if _resolved_jobs_or_none(args, out) is None:
+        return 2
     from repro.sweep.bench import main as bench_main
 
     return bench_main(args, out)

@@ -106,6 +106,8 @@ class MessageQueue:
         self.env = env
         self.name = name
         self.rng = rng
+        # Bound method caches for the per-request hot path.
+        self._lognormal = rng.lognormal
         self.meter = meter
         self.visibility_timeout_s = visibility_timeout_s
         self.request_latency_s = request_latency_s
@@ -141,9 +143,8 @@ class MessageQueue:
 
     # -- internals --------------------------------------------------------------
     def _latency(self) -> float:
-        return float(
-            self.request_latency_s
-            * self.rng.lognormal(mean=0.0, sigma=self.latency_sigma)
+        return self.request_latency_s * float(
+            self._lognormal(0.0, self.latency_sigma)
         )
 
     def _meter_request(self) -> None:

@@ -208,10 +208,17 @@ class ImpureCall:
 
 @dataclass(frozen=True)
 class PoolSubmission:
-    """A callable handed to a ProcessPoolExecutor (submit/map)."""
+    """Work shipped to a process pool (submit/map/submit_chunk).
 
-    fn_arg: ast.expr  # the callable expression being shipped
-    node: ast.AST  # the submit/map call, for location
+    ``fn_arg`` is the callable expression for submit/map style calls
+    and ``None`` for chunked submissions, where only the payload
+    crosses the process boundary.  ``payload_args`` are the pickled
+    arguments — for a chunked submission that is the chunk itself.
+    """
+
+    fn_arg: "ast.expr | None"  # the callable expression being shipped
+    node: ast.AST  # the submit/map/submit_chunk call, for location
+    payload_args: tuple = ()  # pickled argument expressions
 
 
 @dataclass
@@ -726,8 +733,32 @@ class _FunctionAnalyzer:
                     receiver.id, ("ProcessPoolExecutor",)
                 ):
                     self.fn.pool_submissions.append(
-                        PoolSubmission(fn_arg=node.args[0], node=node)
+                        PoolSubmission(
+                            fn_arg=node.args[0],
+                            node=node,
+                            payload_args=tuple(node.args[1:])
+                            + tuple(kw.value for kw in node.keywords),
+                        )
                     )
+        # Chunked submissions: pool.submit_chunk(specs) ships the whole
+        # chunk through pickle, so its elements must be picklable too.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "submit_chunk"
+            and node.args
+        ):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and self._bound_to_executor(
+                receiver.id, ("SweepPool", "shared_pool")
+            ):
+                self.fn.pool_submissions.append(
+                    PoolSubmission(
+                        fn_arg=None,
+                        node=node,
+                        payload_args=tuple(node.args)
+                        + tuple(kw.value for kw in node.keywords),
+                    )
+                )
 
     def _bound_to_executor(self, name: str, kinds: tuple[str, ...]) -> bool:
         """Is ``name`` bound from ``<kind>(...)`` in this function (via

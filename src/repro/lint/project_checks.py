@@ -259,14 +259,26 @@ class PoolCaptureRule(ProjectRule):
     def check_project(self, project: ProjectModel) -> Iterator[Violation]:
         for fn in project.iter_functions():
             for sub in fn.pool_submissions:
-                problem = self._unpicklable(fn, sub.fn_arg)
-                if problem:
-                    yield self.project_violation(
-                        fn.path,
-                        sub.node,
-                        f"{problem} submitted to a ProcessPoolExecutor "
-                        f"in {fn.qualname} cannot be pickled",
-                    )
+                if sub.fn_arg is not None:
+                    problem = self._unpicklable(fn, sub.fn_arg)
+                    if problem:
+                        yield self.project_violation(
+                            fn.path,
+                            sub.node,
+                            f"{problem} submitted to a ProcessPoolExecutor "
+                            f"in {fn.qualname} cannot be pickled",
+                        )
+                for arg in sub.payload_args:
+                    for expr in self._payload_exprs(arg):
+                        problem = self._unpicklable(fn, expr)
+                        if problem:
+                            yield self.project_violation(
+                                fn.path,
+                                sub.node,
+                                f"{problem} in a chunk submitted to a "
+                                f"worker pool in {fn.qualname} cannot "
+                                f"be pickled",
+                            )
             for call in self._pointspec_calls(fn):
                 for arg in list(call.args) + [
                     kw.value for kw in call.keywords
@@ -279,6 +291,16 @@ class PoolCaptureRule(ProjectRule):
                             f"{problem} embedded in a PointSpec in "
                             f"{fn.qualname} cannot be pickled",
                         )
+
+    @staticmethod
+    def _payload_exprs(arg: ast.expr) -> Iterator[ast.expr]:
+        """The argument itself plus the elements of literal containers
+        (a chunk is typically a list of specs built in place)."""
+        yield arg
+        if isinstance(arg, (ast.List, ast.Tuple, ast.Set)):
+            yield from arg.elts
+        elif isinstance(arg, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            yield arg.elt
 
     @staticmethod
     def _pointspec_calls(fn: FunctionInfo) -> Iterator[ast.Call]:

@@ -164,7 +164,12 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env)
+        # Field init is inlined (no super().__init__ round-trip): a
+        # Timeout is born triggered, and this constructor is the single
+        # hottest allocation in queue-heavy simulations.
+        self.env = env
+        self.callbacks = []
+        self._processed = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -274,12 +279,13 @@ class Process(Event):
         self._resume_core(ok, value)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._value is not _PENDING:  # inlined is_alive
             return  # e.g. stale wakeup after an interrupt already finished us
+        waiting = self._waiting_on
         if (
-            self._waiting_on is not None
-            and event is not self._waiting_on
-            and not isinstance(event.value, Interrupt)
+            waiting is not None
+            and event is not waiting
+            and not isinstance(event._value, Interrupt)
         ):
             return  # stale callback from an abandoned wait
         self._resume_core(event._ok, event._value)

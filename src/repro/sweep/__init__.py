@@ -9,8 +9,11 @@ the reproduction harness exploit that itself:
   (``PointSpec``) that rebuild their app + backend inside worker
   processes, and the plain-data ``PointResult`` they produce;
 * :mod:`repro.sweep.runner` — :func:`run_points`: fan the points out
-  over a ``ProcessPoolExecutor`` (``--jobs`` / ``REPRO_JOBS``, default
+  in per-worker chunks (``--jobs`` / ``REPRO_JOBS``, default
   ``os.cpu_count()``) with deterministic result ordering;
+* :mod:`repro.sweep.pool` — :class:`SweepPool`: the persistent,
+  lazily-started worker pool those chunks execute on, reused across
+  ``run_points`` calls, studies, and the bench suite;
 * :mod:`repro.sweep.cache` — a content-addressed result cache under
   ``.repro-cache/`` keyed by app + perf-model + backend config + task
   digest + version salt (``REPRO_NO_CACHE`` escape hatch);
@@ -21,6 +24,7 @@ the reproduction harness exploit that itself:
 from repro.sweep.cache import CacheStats, ResultCache, default_cache
 from repro.sweep.fingerprint import CACHE_SALT, point_fingerprint, task_digest
 from repro.sweep.points import PointResult, PointSpec, point_for, run_point
+from repro.sweep.pool import SweepPool, shared_pool, shutdown_shared_pool
 from repro.sweep.runner import resolve_jobs, run_points
 
 __all__ = [
@@ -29,11 +33,14 @@ __all__ = [
     "PointResult",
     "PointSpec",
     "ResultCache",
+    "SweepPool",
     "default_cache",
     "point_fingerprint",
     "point_for",
     "resolve_jobs",
     "run_point",
     "run_points",
+    "shared_pool",
+    "shutdown_shared_pool",
     "task_digest",
 ]

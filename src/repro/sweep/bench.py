@@ -1,16 +1,27 @@
 """``python -m repro bench`` — the repo's microbenchmark suite.
 
-Two groups of measurements, written as one JSON document (default
-``BENCH_2.json`` at the current directory):
+Three groups of measurements, written as one JSON document (default
+``BENCH_3.json`` at the current directory):
 
 * **kernel** — DES event-loop throughput in events/second for the three
   hot shapes the fast paths target: a pure timeout chain (heap path), a
   zero-delay succeed chain (same-time lane path) and a two-process
   ping-pong (process switch path);
 * **sweeps** — wall-clock for a Figure 3/4-style instance-type sweep per
-  application, serial (``jobs=1``), parallel (``jobs=N``) and warm-cache
+  application, serial (``jobs=1``), parallel (``jobs=N`` through the
+  persistent :class:`~repro.sweep.pool.SweepPool`) and warm-cache
   (second run against a fresh temporary cache), plus the derived
-  speedups.
+  speedups, per-point chunk layout and a build/run phase split;
+* **workloads** — on-disk dataset generation per application: a cold
+  build through the workload artifact store versus a warm attach of the
+  already-materialized artifact.
+
+The one-time pool spawn cost is measured once, up front, and reported
+under ``phases.pool_spawn_s`` rather than being smeared into every
+parallel sweep — that matches how the pool is actually used (spawn
+once, reuse for every subsequent call).  ``jobs_effective`` records
+``min(jobs, cpu_count)`` so single-core hosts cannot masquerade as
+parallel speedup measurements.
 
 ``--smoke`` shrinks every size so the suite finishes in seconds — CI
 runs that variant to catch wiring regressions, not to publish numbers.
@@ -32,12 +43,13 @@ from repro.obs.context import current as _current_obs
 from repro.sim.engine import Environment
 from repro.sweep.cache import ResultCache
 from repro.sweep.points import point_for
-from repro.sweep.runner import resolve_jobs, run_points
+from repro.sweep.pool import SweepPool
+from repro.sweep.runner import _chunk_pending, resolve_jobs, run_points
 
-__all__ = ["main", "run_bench"]
+__all__ = ["check_kernel_regression", "main", "run_bench"]
 
-DEFAULT_OUTPUT = "BENCH_2.json"
-SCHEMA = "repro-bench-v2"
+DEFAULT_OUTPUT = "BENCH_3.json"
+SCHEMA = "repro-bench-v3"
 
 
 def _clock() -> float:
@@ -163,16 +175,33 @@ def _sweep_points(app_name: str, n_files: int):
     return [point_for(app, backend, tasks) for backend in backends]
 
 
-def _sweep_bench(app_name: str, n_files: int, jobs: int) -> dict:
-    points = _sweep_points(app_name, n_files)
+def _timed_best(fn, repeats: int):
+    """(last result, best wall-clock) over ``repeats`` calls."""
+    result, best = None, float("inf")
+    for _ in range(repeats):
+        start = _clock()
+        result = fn()
+        best = min(best, _clock() - start)
+    return result, best
 
+
+def _sweep_bench(
+    app_name: str,
+    n_files: int,
+    jobs: int,
+    pool: "SweepPool | None",
+    repeats: int,
+) -> dict:
     start = _clock()  # repro: noqa[RPR001] real benchmark timer
-    serial = run_points(points, jobs=1, cache=None)
-    serial_s = _clock() - start
+    points = _sweep_points(app_name, n_files)
+    build_s = _clock() - start
 
-    start = _clock()
-    parallel = run_points(points, jobs=jobs, cache=None)
-    parallel_s = _clock() - start
+    serial, serial_s = _timed_best(
+        lambda: run_points(points, jobs=1, cache=None), repeats
+    )
+    parallel, parallel_s = _timed_best(
+        lambda: run_points(points, jobs=jobs, cache=None, pool=pool), repeats
+    )
     if [r.to_dict() for r in serial] != [r.to_dict() for r in parallel]:
         raise AssertionError(
             f"{app_name}: parallel sweep diverged from serial sweep"
@@ -196,10 +225,17 @@ def _sweep_bench(app_name: str, n_files: int, jobs: int) -> dict:
             f"{app_name}: cached sweep diverged from serial sweep"
         )
 
+    chunk_sizes = (
+        [len(chunk) for chunk in _chunk_pending(points, min(jobs, len(points)))]
+        if jobs > 1
+        else []
+    )
     return {
         "n_files": n_files,
         "n_points": len(points),
         "jobs": jobs,
+        "chunk_sizes": chunk_sizes,
+        "build_points_s": build_s,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "cache_cold_s": cold_s,
@@ -209,23 +245,114 @@ def _sweep_bench(app_name: str, n_files: int, jobs: int) -> dict:
     }
 
 
+# -- workload generation benchmarks ----------------------------------------
+
+def _workload_bench(app_name: str, n_files: int) -> dict:
+    """Cold store build vs warm attach for one app's on-disk dataset."""
+    from repro.workloads.genome import write_cap3_workload
+    from repro.workloads.protein import write_blast_workload
+    from repro.workloads.pubchem import write_gtm_workload
+    from repro.workloads.store import WorkloadArtifactStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-workload-") as tmp:
+        tmp_path = Path(tmp)
+        store = WorkloadArtifactStore(tmp_path / "store")
+
+        def write(dest: Path) -> None:
+            if app_name == "cap3":
+                write_cap3_workload(dest, n_files, seed=3, store=store)
+            elif app_name == "blast":
+                write_blast_workload(dest, n_files, seed=3, store=store)
+            else:
+                write_gtm_workload(dest, n_files, seed=3, store=store)
+
+        start = _clock()
+        write(tmp_path / "cold")
+        build_s = _clock() - start
+        start = _clock()
+        write(tmp_path / "warm")
+        attach_s = _clock() - start
+        if store.builds != 1 or store.hits != 1:
+            raise AssertionError(
+                f"{app_name}: expected 1 build + 1 hit, got "
+                f"{store.builds} builds / {store.hits} hits"
+            )
+        return {
+            "n_files": n_files,
+            "build_s": build_s,
+            "attach_s": attach_s,
+            "attach_speedup": build_s / attach_s if attach_s > 0 else None,
+            "store_builds": store.builds,
+            "store_hits": store.hits,
+        }
+
+
+def _spawn_bench(pool: SweepPool) -> float:
+    """One-time cost to cold-start the pool: spawn + module warm-up."""
+    start = _clock()
+    pool.submit_chunk([]).result()
+    return _clock() - start
+
+
 def run_bench(
     smoke: bool = False, jobs: "int | None" = None, apps=("cap3", "blast", "gtm")
 ) -> dict:
     """Run the full suite and return the report dict."""
     jobs = resolve_jobs(jobs)
+    cpus = os.cpu_count() or 1
     n_files = 16 if smoke else 200
+    workload_files = 8 if smoke else 64
     report = {
         "schema": SCHEMA,
         "smoke": smoke,
         "jobs": jobs,
-        "cpu_count": os.cpu_count(),
+        "jobs_effective": min(jobs, cpus),
+        "cpu_count": cpus,
         "kernel": _kernel_bench(smoke),
-        "sweeps": {
-            app: _sweep_bench(app, n_files, jobs) for app in apps
-        },
+    }
+    pool = SweepPool(jobs) if jobs > 1 else None
+    try:
+        spawn_s = _spawn_bench(pool) if pool is not None else None
+        report["phases"] = {"pool_spawn_s": spawn_s}
+        repeats = 2 if smoke else 5
+        report["sweeps"] = {
+            app: _sweep_bench(app, n_files, jobs, pool, repeats)
+            for app in apps
+        }
+        report["pool"] = pool.stats() if pool is not None else None
+    finally:
+        if pool is not None:
+            pool.close()
+    report["workloads"] = {
+        app: _workload_bench(app, workload_files) for app in apps
     }
     return report
+
+
+def check_kernel_regression(
+    report: dict, baseline: dict, tolerance: float = 0.10
+) -> list:
+    """Compare kernel events/s against a baseline report.
+
+    Returns a list of human-readable failures (empty means the gate
+    passes).  Shapes present in only one report are skipped — the gate
+    guards against regressions in what both runs measured, not against
+    schema drift.
+    """
+    failures = []
+    for name, spec in baseline.get("kernel", {}).items():
+        base_rate = spec.get("events_per_s")
+        rate = report.get("kernel", {}).get(name, {}).get("events_per_s")
+        if not base_rate or not rate:
+            continue
+        floor = base_rate * (1.0 - tolerance)
+        if rate < floor:
+            failures.append(
+                f"kernel {name}: {rate:,.0f} events/s is below the "
+                f"{tolerance:.0%} floor ({floor:,.0f}) of the baseline "
+                f"{base_rate:,.0f}"
+            )
+    return failures
 
 
 def main(args, out) -> int:
@@ -238,6 +365,9 @@ def main(args, out) -> int:
         f"  kernel {name}: {spec['events_per_s']:,.0f} events/s"
         for name, spec in kernel.items()
     ]
+    spawn_s = report["phases"]["pool_spawn_s"]
+    if spawn_s is not None:
+        rows.append(f"  pool spawn (one-time): {spawn_s:.3f}s")
     for app, sweep in report["sweeps"].items():
         rows.append(
             f"  sweep {app}: serial {sweep['serial_s']:.3f}s, "
@@ -246,8 +376,40 @@ def main(args, out) -> int:
             f"warm cache {sweep['cache_warm_s']:.4f}s "
             f"({sweep['warm_cache_speedup']:.1f}x)"
         )
+    for app, workload in report["workloads"].items():
+        rows.append(
+            f"  workload {app}: build {workload['build_s']:.3f}s, "
+            f"attach {workload['attach_s']:.3f}s "
+            f"({workload['attach_speedup']:.1f}x)"
+        )
     print("benchmark report:", file=out)
     for row in rows:
         print(row, file=out)
+    if report["jobs_effective"] < report["jobs"]:
+        print(
+            f"note: jobs={report['jobs']} requested but only "
+            f"{report['cpu_count']} CPU(s) available "
+            f"(jobs_effective={report['jobs_effective']}); parallel "
+            "timings measure dispatch overhead, not speedup.",
+            file=out,
+        )
     print(f"written to {path}", file=out)
+    if args.gate is not None:
+        gate_path = Path(args.gate)
+        if not gate_path.exists():
+            print(f"error: gate baseline {gate_path} not found", file=out)
+            return 2
+        baseline = json.loads(gate_path.read_text(encoding="utf-8"))
+        failures = check_kernel_regression(
+            report, baseline, tolerance=args.gate_tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}", file=out)
+            return 1
+        print(
+            f"kernel gate: within {args.gate_tolerance:.0%} of "
+            f"{gate_path}",
+            file=out,
+        )
     return 0

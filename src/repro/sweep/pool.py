@@ -1,0 +1,166 @@
+"""Persistent worker pool for parallel sweeps.
+
+The old runner paid a fresh ``ProcessPoolExecutor`` spawn — interpreter
+start, ``repro`` import, pickle round-trips — for *every* ``run_points``
+call, which is why BENCH_2 measured parallel sweeps *slower* than serial
+on small point counts.  :class:`SweepPool` amortizes that cost: workers
+are spawned lazily on the first submission, warmed by an initializer
+that pre-imports the heavy ``repro`` modules, and then reused across
+``run_points`` calls, studies, and the bench suite.
+
+Dispatch is *chunked*: callers submit lists of :class:`~repro.sweep.
+points.PointSpec` and each chunk crosses the process boundary as one
+pickle, one future, and one result message instead of n of each.
+
+Lifecycle: ``close()`` or use the pool as a context manager.  Most code
+should go through :func:`shared_pool`, a process-wide singleton that is
+recycled automatically when the requested worker count changes and torn
+down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Sequence
+
+from repro.obs.context import current as _current_obs
+from repro.sweep.points import PointResult, PointSpec, run_point
+
+__all__ = ["SweepPool", "shared_pool", "shutdown_shared_pool"]
+
+
+def _warm_worker() -> None:
+    """Run once in every worker at spawn: pull the heavy imports forward
+    so the first real point does not pay them.
+
+    Under the default ``fork`` start method the modules are inherited
+    from the parent anyway; under ``spawn``/``forkserver`` this is where
+    the import cost is paid, once per worker instead of once per task.
+    """
+    import repro.apps.perfmodels  # noqa: F401
+    import repro.classiccloud.framework  # noqa: F401
+    import repro.core.backends  # noqa: F401
+    import repro.sweep.points  # noqa: F401
+    import repro.workloads.genome  # noqa: F401
+    import repro.workloads.protein  # noqa: F401
+    import repro.workloads.pubchem  # noqa: F401
+
+
+def _run_chunk(specs: "list[PointSpec]") -> "list[PointResult]":
+    """Worker-side entry point: execute one chunk of specs in order."""
+    return [run_point(spec) for spec in specs]
+
+
+class SweepPool:
+    """A lazily-started, reusable process pool for sweep points.
+
+    The underlying ``ProcessPoolExecutor`` is created on the first
+    :meth:`submit_chunk` call, not in ``__init__``, so building a pool
+    object is free and serial code paths never spawn processes.
+    """
+
+    def __init__(self, workers: int):
+        if not isinstance(workers, int) or isinstance(workers, bool):
+            raise TypeError(f"workers must be an int, got {workers!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: "ProcessPoolExecutor | None" = None
+        self._lock = threading.Lock()
+        self.spawns = 0  # cold executor starts over this pool's lifetime
+        self.submissions = 0  # chunks submitted
+        self.reuses = 0  # submissions that found the executor already warm
+
+    # -- lifecycle --------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=_warm_worker
+                )
+                self.spawns += 1
+                _current_obs().metrics.counter("sweep.pool.spawns").inc()
+            else:
+                self.reuses += 1
+                _current_obs().metrics.counter("sweep.pool.reuses").inc()
+            return self._executor
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the workers down; the pool restarts lazily if reused."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- dispatch ---------------------------------------------------------
+    def submit_chunk(self, specs: Sequence[PointSpec]) -> "Future":
+        """Submit one chunk; the future resolves to a list of
+        :class:`PointResult` in the chunk's order."""
+        executor = self._ensure_executor()
+        self.submissions += 1
+        metrics = _current_obs().metrics
+        metrics.counter("sweep.pool.chunks").inc()
+        metrics.counter("sweep.pool.chunk_points").inc(len(specs))
+        try:
+            return executor.submit(_run_chunk, list(specs))
+        except RuntimeError:
+            # A broken/shutdown executor: recycle once and retry.
+            self.close()
+            return self._ensure_executor().submit(_run_chunk, list(specs))
+
+    def stats(self) -> "dict[str, int]":
+        return {
+            "workers": self.workers,
+            "spawns": self.spawns,
+            "submissions": self.submissions,
+            "reuses": self.reuses,
+        }
+
+
+_shared: "SweepPool | None" = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool(workers: int) -> SweepPool:
+    """The process-wide pool, recycled when ``workers`` changes.
+
+    Successive ``run_points`` calls (and whole studies / bench suites)
+    asking for the same worker count get the *same* warm pool back;
+    asking for a different count closes the old pool and starts fresh.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is not None and _shared.workers != workers:
+            stale, _shared = _shared, None
+        else:
+            stale = None
+    if stale is not None:
+        stale.close()
+    with _shared_lock:
+        if _shared is None:
+            _shared = SweepPool(workers)
+        return _shared
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (no-op when none was ever started)."""
+    global _shared
+    with _shared_lock:
+        pool, _shared = _shared, None
+    if pool is not None:
+        pool.close()
+
+
+atexit.register(shutdown_shared_pool)

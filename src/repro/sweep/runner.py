@@ -4,22 +4,25 @@
 PointSpec` and :class:`~repro.sweep.points.InlinePoint` and returns one
 :class:`~repro.sweep.points.PointResult` per input, **in input order**,
 regardless of which worker finishes first.  Specs are looked up in the
-cache first (when one is given), the remaining ones are executed — in a
-``ProcessPoolExecutor`` when more than one job is allowed, serially
-in-process otherwise — and freshly computed results are stored back.
+cache first (when one is given); the remaining ones are executed and
+freshly computed results are stored back.  Parallel execution goes
+through the persistent :class:`~repro.sweep.pool.SweepPool` in
+*chunks* — each worker receives a contiguous slice of specs as a single
+pickle instead of one submission per point — so repeated ``run_points``
+calls reuse warm workers instead of respawning a pool every time.
 Inline points always run in the parent process and are never cached.
 
-Caching is bypassed entirely while the runtime sanitizer is active
-(``REPRO_SANITIZE``): sanitized runs exist to *observe* the simulation,
-and serving a cached result would skip the instrumented run.
+Sanitized runs (``REPRO_SANITIZE`` with a DES token) bypass the cache
+*and* the worker pool: they exist to observe the simulation in-process,
+so every point executes inline and nothing is served from or stored to
+the cache.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.obs.context import current as _current_obs
 from repro.sweep.cache import ResultCache
@@ -31,7 +34,15 @@ from repro.sweep.points import (
     run_point,
 )
 
+if TYPE_CHECKING:
+    from repro.sweep.pool import SweepPool
+
 __all__ = ["PointProgress", "resolve_jobs", "run_points"]
+
+# Target chunks per worker: >1 so a slow chunk does not leave the other
+# workers idle for its whole duration, small enough that the per-chunk
+# dispatch overhead stays amortized.
+_CHUNKS_PER_WORKER = 2
 
 
 @dataclass(frozen=True)
@@ -52,28 +63,62 @@ class PointProgress:
 
 def resolve_jobs(jobs: "int | None" = None) -> int:
     """Worker-count policy: explicit argument > ``REPRO_JOBS`` env var >
-    ``os.cpu_count()``; always at least 1."""
+    ``os.cpu_count()``.
+
+    Invalid values — zero, negatives, non-integers — are rejected with
+    a clear error rather than silently clamped: a user who exported
+    ``REPRO_JOBS=0`` asked for something impossible and should hear
+    about it, not get a surprise serial run.
+    """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer, got {env!r}"
-                ) from None
-        else:
-            jobs = os.cpu_count() or 1
-    return max(1, int(jobs))
+        if not env:
+            return os.cpu_count() or 1
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            )
+        return value
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise TypeError(f"jobs must be a positive integer, got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    return jobs
 
 
 def _sanitizing() -> bool:
-    # Only DES-sanitizing tokens bypass the cache: the thread sanitizer
-    # (REPRO_SANITIZE=threads) instruments the *threaded* runtimes and
-    # does not change simulated results, so cached points stay valid.
+    # Only DES-sanitizing tokens force inline execution and bypass the
+    # cache: the thread sanitizer (REPRO_SANITIZE=threads) instruments
+    # the *threaded* runtimes and does not change simulated results, so
+    # cached points stay valid and workers stay usable.
     raw = os.environ.get("REPRO_SANITIZE", "")
     tokens = {t for t in raw.replace(",", " ").lower().split() if t}
     return bool(tokens - {"threads", "0", "false", "off"})
+
+
+def _chunk_pending(
+    pending: "list[tuple[int, PointSpec]]", workers: int
+) -> "list[list[tuple[int, PointSpec]]]":
+    """Split pending points into contiguous chunks, preserving order.
+
+    Contiguity is what lets the collector stream ``done`` events in
+    input order as each chunk future resolves.
+    """
+    n_chunks = min(len(pending), workers * _CHUNKS_PER_WORKER)
+    base, extra = divmod(len(pending), n_chunks)
+    chunks = []
+    at = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(pending[at : at + size])
+        at += size
+    return chunks
 
 
 def run_points(
@@ -82,15 +127,19 @@ def run_points(
     jobs: "int | None" = None,
     cache: "ResultCache | None" = None,
     progress: "Callable[[PointProgress], None] | None" = None,
+    pool: "SweepPool | None" = None,
 ) -> list[PointResult]:
     """Execute every point; results come back in input order.
 
     ``progress`` is invoked from the parent process with one
     :class:`PointProgress` per lifecycle event (start / done /
-    cache-hit); exceptions it raises propagate to the caller.
+    cache-hit); exceptions it raises propagate to the caller.  ``pool``
+    overrides the process-wide shared :class:`SweepPool`; callers that
+    pass one own its lifecycle.
     """
     jobs = resolve_jobs(jobs)
-    use_cache = cache is not None and not _sanitizing()
+    sanitizing = _sanitizing()
+    use_cache = cache is not None and not sanitizing
     total = len(points)
     metrics = _current_obs().metrics
     m_points = metrics.counter("sweep.points_run")
@@ -117,7 +166,7 @@ def run_points(
             m_points.inc()
             notify(index, point.label, "done")
 
-    if len(pending) <= 1 or jobs == 1:
+    if len(pending) <= 1 or jobs == 1 or sanitizing:
         for index, spec in pending:
             notify(index, spec.label, "start")
             results[index] = run_point(spec)
@@ -127,18 +176,25 @@ def run_points(
             notify(index, spec.label, "done")
         return results  # type: ignore[return-value]
 
-    workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = []
-        for index, spec in pending:
-            futures.append((index, spec, pool.submit(run_point, spec)))
+    if pool is None:
+        from repro.sweep.pool import shared_pool
+
+        pool = shared_pool(jobs)
+    chunks = _chunk_pending(pending, min(jobs, len(pending)))
+    metrics.counter("sweep.pool.runs").inc()
+    futures = []
+    for chunk in chunks:
+        futures.append(pool.submit_chunk([spec for _, spec in chunk]))
+        for index, spec in chunk:
             notify(index, spec.label, "start")
-        # Collect in submission order: result ordering is decided by the
-        # input list, never by completion order.
-        for index, spec, future in futures:
-            results[index] = future.result()
+    # Collect in submission order: chunks are contiguous slices of the
+    # input, so result ordering is decided by the input list, never by
+    # completion order.
+    for chunk, future in zip(chunks, futures):
+        for (index, spec), result in zip(chunk, future.result()):
+            results[index] = result
             m_points.inc()
             if use_cache:
-                cache.put(spec, results[index])
+                cache.put(spec, result)
             notify(index, spec.label, "done")
     return results  # type: ignore[return-value]

@@ -14,6 +14,10 @@ generators produce the closest synthetic equivalents at any scale:
 
 Every generator can emit *real files* (for the local backend) and always
 emits :class:`~repro.core.task.TaskSpec` lists (for the simulator).
+File emission goes through :mod:`repro.workloads.store`, a
+content-addressed artifact store under ``.repro-cache/workloads/`` that
+materializes each dataset exactly once and hard-links it into place so
+every consumer shares one read-only copy (``REPRO_NO_CACHE`` opts out).
 """
 
 from repro.workloads.genome import (
@@ -32,10 +36,18 @@ from repro.workloads.pubchem import (
     gtm_task_specs,
     write_gtm_workload,
 )
+from repro.workloads.store import (
+    WorkloadArtifact,
+    WorkloadArtifactStore,
+    default_artifact_store,
+)
 
 __all__ = [
+    "WorkloadArtifact",
+    "WorkloadArtifactStore",
     "blast_task_specs",
     "cap3_task_specs",
+    "default_artifact_store",
     "generate_genome",
     "generate_protein_database",
     "generate_pubchem_points",

@@ -135,28 +135,18 @@ def cap3_task_specs(
     return specs
 
 
-def write_cap3_workload(
-    directory: str | Path,
+def _write_cap3_inputs(
+    in_dir: Path,
     n_files: int,
-    reads_per_file: int = 24,
-    read_length: int = 200,
-    replicated: bool = True,
-    seed: int = 0,
-) -> list[TaskSpec]:
-    """Write real FASTA files for the local backend.
-
-    With ``replicated=True`` every file has identical content (the
-    paper's homogeneous scaling setup); otherwise each file gets a fresh
-    genome and its own read count spread.
-
-    Returns specs whose ``input_key``/``output_key`` are file paths and
-    whose sizes reflect the bytes actually written.
-    """
-    directory = Path(directory)
-    (directory / "in").mkdir(parents=True, exist_ok=True)
-    (directory / "out").mkdir(parents=True, exist_ok=True)
+    reads_per_file: int,
+    read_length: int,
+    replicated: bool,
+    seed: int,
+) -> list[float]:
+    """Generate the FASTA input files into ``in_dir``; returns the
+    per-file read counts (the Cap3 ``work_units``)."""
     rng = np.random.default_rng(seed)
-    specs = []
+    work_units = []
     base_records = None
     for i in range(n_files):
         if replicated:
@@ -168,9 +158,71 @@ def write_cap3_workload(
         else:
             count = _read_counts(1, reads_per_file, True, rng)[0]
             records = generate_read_records(count, read_length, rng=rng)
-        input_path = directory / "in" / f"{i:05d}.fa"
+        write_fasta(records, in_dir / f"{i:05d}.fa")
+        work_units.append(float(len(records)))
+    return work_units
+
+
+def write_cap3_workload(
+    directory: str | Path,
+    n_files: int,
+    reads_per_file: int = 24,
+    read_length: int = 200,
+    replicated: bool = True,
+    seed: int = 0,
+    store: "object | str | None" = "auto",
+) -> list[TaskSpec]:
+    """Write real FASTA files for the local backend.
+
+    With ``replicated=True`` every file has identical content (the
+    paper's homogeneous scaling setup); otherwise each file gets a fresh
+    genome and its own read count spread.
+
+    ``store`` routes generation through the content-addressed workload
+    artifact store (:mod:`repro.workloads.store`): the dataset is
+    materialized once under ``.repro-cache/workloads/`` and hard-linked
+    into ``directory/in`` — treat the attached inputs as read-only.
+    ``"auto"`` follows the ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``
+    policy; ``None`` generates in place.
+
+    Returns specs whose ``input_key``/``output_key`` are file paths and
+    whose sizes reflect the bytes actually written.
+    """
+    from repro.workloads.store import resolve_store
+
+    directory = Path(directory)
+    in_dir = directory / "in"
+    (directory / "out").mkdir(parents=True, exist_ok=True)
+    params = {
+        "n_files": n_files,
+        "reads_per_file": reads_per_file,
+        "read_length": read_length,
+        "replicated": replicated,
+        "seed": seed,
+    }
+    artifact_store = resolve_store(store)
+    if artifact_store is None:
+        in_dir.mkdir(parents=True, exist_ok=True)
+        work_units = _write_cap3_inputs(
+            in_dir, n_files, reads_per_file, read_length, replicated, seed
+        )
+    else:
+        artifact = artifact_store.materialize(
+            "cap3",
+            params,
+            lambda tmp: {
+                "work_units": _write_cap3_inputs(
+                    tmp, n_files, reads_per_file, read_length, replicated,
+                    seed,
+                )
+            },
+        )
+        artifact_store.attach(artifact, in_dir)
+        work_units = artifact.extra["work_units"]
+    specs = []
+    for i, count in enumerate(work_units):
+        input_path = in_dir / f"{i:05d}.fa"
         output_path = directory / "out" / f"{i:05d}.fa"
-        write_fasta(records, input_path)
         specs.append(
             TaskSpec(
                 task_id=f"cap3-local-{i:05d}",
@@ -178,7 +230,7 @@ def write_cap3_workload(
                 output_key=str(output_path),
                 input_size=input_path.stat().st_size,
                 output_size=int(input_path.stat().st_size * 0.4),
-                work_units=float(len(records)),
+                work_units=float(count),
             )
         )
     return specs

@@ -141,19 +141,23 @@ def blast_task_specs(
     return specs
 
 
-def write_blast_workload(
-    directory: str | Path,
+_DB_FILE = "database.fa"
+
+
+def _write_blast_inputs(
+    in_dir: Path,
     n_files: int,
-    queries_per_file: int = 10,
-    db_sequences: int = 30,
-    seed: int = 0,
-) -> tuple[list[TaskSpec], BlastDatabase]:
-    """Write real query files plus a database for the local backend."""
-    directory = Path(directory)
-    (directory / "in").mkdir(parents=True, exist_ok=True)
-    (directory / "out").mkdir(parents=True, exist_ok=True)
+    queries_per_file: int,
+    db_sequences: int,
+    seed: int,
+) -> BlastDatabase:
+    """Generate the query files plus the shared database FASTA into
+    ``in_dir``; returns the in-memory database."""
     db = generate_protein_database(db_sequences, seed=seed)
-    specs = []
+    write_fasta(
+        [FastaRecord(id=i, seq=s) for i, s in zip(db.ids, db.seqs)],
+        in_dir / _DB_FILE,
+    )
     for i in range(n_files):
         records = generate_query_records(
             db,
@@ -161,9 +165,68 @@ def write_blast_workload(
             seed=seed + 1000 + i,
             id_prefix=f"f{i:03d}_q",
         )
-        input_path = directory / "in" / f"{i:05d}.fa"
+        write_fasta(records, in_dir / f"{i:05d}.fa")
+    return db
+
+
+def write_blast_workload(
+    directory: str | Path,
+    n_files: int,
+    queries_per_file: int = 10,
+    db_sequences: int = 30,
+    seed: int = 0,
+    store: "object | str | None" = "auto",
+) -> tuple[list[TaskSpec], BlastDatabase]:
+    """Write real query files plus a database for the local backend.
+
+    The shared NR-like database is written alongside the queries as
+    ``in/database.fa`` — the paper's "shared working set" that every
+    worker attaches rather than owning a private copy.  ``store``
+    routes generation through the content-addressed workload artifact
+    store (:mod:`repro.workloads.store`): the whole bundle is
+    materialized once and hard-linked into ``directory/in`` — treat the
+    attached inputs as read-only.  ``"auto"`` follows the
+    ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR`` policy; ``None`` generates
+    in place.
+    """
+    from repro.apps.fasta import read_fasta
+    from repro.workloads.store import resolve_store
+
+    directory = Path(directory)
+    in_dir = directory / "in"
+    (directory / "out").mkdir(parents=True, exist_ok=True)
+    params = {
+        "n_files": n_files,
+        "queries_per_file": queries_per_file,
+        "db_sequences": db_sequences,
+        "seed": seed,
+    }
+    artifact_store = resolve_store(store)
+    db: "BlastDatabase | None" = None
+    if artifact_store is None:
+        in_dir.mkdir(parents=True, exist_ok=True)
+        db = _write_blast_inputs(
+            in_dir, n_files, queries_per_file, db_sequences, seed
+        )
+    else:
+
+        def build(tmp: Path) -> dict:
+            nonlocal db
+            db = _write_blast_inputs(
+                tmp, n_files, queries_per_file, db_sequences, seed
+            )
+            return {}
+
+        artifact = artifact_store.materialize("blast", params, build)
+        artifact_store.attach(artifact, in_dir)
+        if db is None:
+            # Cache hit: the builder never ran — reindex the shared
+            # database file instead of regenerating every sequence.
+            db = records_to_db(read_fasta(in_dir / _DB_FILE))
+    specs = []
+    for i in range(n_files):
+        input_path = in_dir / f"{i:05d}.fa"
         output_path = directory / "out" / f"{i:05d}.tsv"
-        write_fasta(records, input_path)
         specs.append(
             TaskSpec(
                 task_id=f"blast-local-{i:05d}",

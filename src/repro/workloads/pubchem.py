@@ -82,28 +82,25 @@ def gtm_task_specs(
     ]
 
 
-def write_gtm_workload(
-    directory: str | Path,
-    n_files: int,
-    points_per_file: int = 500,
-    dimensions: int = 16,
-    sample_points: int = 300,
-    seed: int = 0,
-) -> tuple[list[TaskSpec], np.ndarray]:
-    """Write real compressed splits plus a training sample.
+_SAMPLE_FILE = "sample.npy"
 
-    Returns (specs, sample) where ``sample`` is the in-sample training
-    set the caller fits a GTM on before constructing the executable.
-    """
-    directory = Path(directory)
-    (directory / "in").mkdir(parents=True, exist_ok=True)
-    (directory / "out").mkdir(parents=True, exist_ok=True)
+
+def _write_gtm_inputs(
+    in_dir: Path,
+    n_files: int,
+    points_per_file: int,
+    dimensions: int,
+    sample_points: int,
+    seed: int,
+) -> np.ndarray:
+    """Generate the compressed splits plus the shared training sample
+    into ``in_dir``; returns the sample array."""
     rng = np.random.default_rng(seed)
     centers_seed = int(rng.integers(0, 2**31))
     sample = generate_pubchem_points(
         sample_points, dimensions, seed=centers_seed
     )
-    specs = []
+    np.save(in_dir / _SAMPLE_FILE, sample)
     for i in range(n_files):
         # Out-of-sample points must come from the *same* distribution as
         # the sample: reuse the cluster geometry via the same seed, then
@@ -113,9 +110,68 @@ def write_gtm_workload(
             points_per_file, dimensions, seed=centers_seed
         )
         points = base + file_rng.normal(scale=0.05, size=base.shape)
-        input_path = directory / "in" / f"{i:05d}.npz"
+        np.savez_compressed(in_dir / f"{i:05d}.npz", points=points)
+    return sample
+
+
+def write_gtm_workload(
+    directory: str | Path,
+    n_files: int,
+    points_per_file: int = 500,
+    dimensions: int = 16,
+    sample_points: int = 300,
+    seed: int = 0,
+    store: "object | str | None" = "auto",
+) -> tuple[list[TaskSpec], np.ndarray]:
+    """Write real compressed splits plus a training sample.
+
+    Returns (specs, sample) where ``sample`` is the in-sample training
+    set the caller fits a GTM on before constructing the executable;
+    the sample is also written alongside the splits as
+    ``in/sample.npy``.  ``store`` routes generation through the
+    content-addressed workload artifact store (:mod:`repro.workloads.
+    store`): the dataset is materialized once and hard-linked into
+    ``directory/in`` — treat the attached inputs as read-only.
+    ``"auto"`` follows the ``REPRO_NO_CACHE``/``REPRO_CACHE_DIR``
+    policy; ``None`` generates in place.
+    """
+    from repro.workloads.store import resolve_store
+
+    directory = Path(directory)
+    in_dir = directory / "in"
+    (directory / "out").mkdir(parents=True, exist_ok=True)
+    params = {
+        "n_files": n_files,
+        "points_per_file": points_per_file,
+        "dimensions": dimensions,
+        "sample_points": sample_points,
+        "seed": seed,
+    }
+    artifact_store = resolve_store(store)
+    if artifact_store is None:
+        in_dir.mkdir(parents=True, exist_ok=True)
+        sample = _write_gtm_inputs(
+            in_dir, n_files, points_per_file, dimensions, sample_points,
+            seed,
+        )
+    else:
+
+        def build(tmp: Path) -> dict:
+            _write_gtm_inputs(
+                tmp, n_files, points_per_file, dimensions, sample_points,
+                seed,
+            )
+            return {}
+
+        artifact = artifact_store.materialize("gtm", params, build)
+        artifact_store.attach(artifact, in_dir)
+        # mmap the shared sample: consumers read the store's page-cache
+        # copy instead of materializing a private array per process.
+        sample = np.load(in_dir / _SAMPLE_FILE, mmap_mode="r")
+    specs = []
+    for i in range(n_files):
+        input_path = in_dir / f"{i:05d}.npz"
         output_path = directory / "out" / f"{i:05d}.npy"
-        np.savez_compressed(input_path, points=points)
         specs.append(
             TaskSpec(
                 task_id=f"gtm-local-{i:05d}",

@@ -1,0 +1,9 @@
+"""RPR104 clean: chunked submissions ship plain picklable specs."""
+
+from repro.sweep.pool import SweepPool
+
+
+def sweep(chunks):
+    pool = SweepPool(4)
+    futures = [pool.submit_chunk(chunk) for chunk in chunks]
+    return [future.result() for future in futures]

@@ -1,0 +1,12 @@
+"""RPR104 noqa: the chunked capture is acknowledged inline."""
+
+from repro.sweep.pool import SweepPool
+
+
+def sweep(specs):
+    pool = SweepPool(4)
+    futures = [
+        pool.submit_chunk([lambda: spec.run() for spec in chunk])  # repro: noqa[RPR104] test double, never run
+        for chunk in specs
+    ]
+    return [future.result() for future in futures]

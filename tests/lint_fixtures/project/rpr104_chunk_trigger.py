@@ -1,0 +1,12 @@
+"""RPR104 trigger: a lambda rides inside a chunked pool submission."""
+
+from repro.sweep.pool import SweepPool
+
+
+def sweep(specs):
+    pool = SweepPool(4)
+    futures = [
+        pool.submit_chunk([lambda: spec.run() for spec in chunk])
+        for chunk in specs
+    ]
+    return [future.result() for future in futures]

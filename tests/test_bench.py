@@ -1,0 +1,150 @@
+"""The bench v3 report surface and the kernel-regression gate."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import bench as bench_mod
+from repro.sweep.bench import check_kernel_regression
+
+
+def _report(rates):
+    return {
+        "schema": "repro-bench-v3",
+        "kernel": {
+            name: {"events_per_s": rate} for name, rate in rates.items()
+        },
+    }
+
+
+class TestKernelGate:
+    def test_passes_at_and_above_floor(self):
+        baseline = _report({"timeout_chain": 1_000_000.0})
+        assert check_kernel_regression(
+            _report({"timeout_chain": 900_000.0}), baseline
+        ) == []
+        assert check_kernel_regression(
+            _report({"timeout_chain": 1_200_000.0}), baseline
+        ) == []
+
+    def test_fails_below_floor(self):
+        baseline = _report({"timeout_chain": 1_000_000.0})
+        failures = check_kernel_regression(
+            _report({"timeout_chain": 800_000.0}), baseline
+        )
+        assert len(failures) == 1
+        assert "timeout_chain" in failures[0]
+
+    def test_tolerance_is_configurable(self):
+        baseline = _report({"ping_pong": 1_000_000.0})
+        report = _report({"ping_pong": 700_000.0})
+        assert check_kernel_regression(report, baseline, tolerance=0.5) == []
+        assert check_kernel_regression(report, baseline, tolerance=0.1)
+
+    def test_shapes_missing_on_either_side_are_skipped(self):
+        baseline = _report({"timeout_chain": 1e6, "new_shape": 1e6})
+        report = _report({"timeout_chain": 1e6, "other_shape": 1.0})
+        assert check_kernel_regression(report, baseline) == []
+
+    def test_multiple_regressions_all_reported(self):
+        baseline = _report({"a": 1e6, "b": 1e6})
+        failures = check_kernel_regression(
+            _report({"a": 1.0, "b": 1.0}), baseline
+        )
+        assert len(failures) == 2
+
+
+class TestBenchCli:
+    @pytest.fixture
+    def canned_report(self, monkeypatch):
+        report = {
+            "schema": "repro-bench-v3",
+            "smoke": True,
+            "jobs": 2,
+            "jobs_effective": 1,
+            "cpu_count": 1,
+            "kernel": {"timeout_chain": {"events_per_s": 1_000_000.0}},
+            "phases": {"pool_spawn_s": 0.05},
+            "sweeps": {},
+            "pool": {"workers": 2, "spawns": 1, "submissions": 1,
+                     "reuses": 0},
+            "workloads": {},
+        }
+        monkeypatch.setattr(
+            bench_mod, "run_bench", lambda smoke, jobs: report
+        )
+        return report
+
+    def _run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_gate_pass(self, canned_report, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_report({"timeout_chain": 1_000_000.0}))
+        )
+        code, output = self._run(
+            "bench", "--smoke", "--output", str(tmp_path / "o.json"),
+            "--gate", str(baseline),
+        )
+        assert code == 0, output
+        assert "kernel gate" in output
+
+    def test_gate_regression_fails(self, canned_report, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(_report({"timeout_chain": 2_000_000.0}))
+        )
+        code, output = self._run(
+            "bench", "--smoke", "--output", str(tmp_path / "o.json"),
+            "--gate", str(baseline),
+        )
+        assert code == 1
+        assert "REGRESSION" in output
+
+    def test_missing_gate_baseline_is_exit_2(self, canned_report, tmp_path):
+        code, output = self._run(
+            "bench", "--smoke", "--output", str(tmp_path / "o.json"),
+            "--gate", str(tmp_path / "nope.json"),
+        )
+        assert code == 2
+        assert "error" in output
+
+    def test_single_core_honesty_notice(self, canned_report, tmp_path):
+        code, output = self._run(
+            "bench", "--smoke", "--output", str(tmp_path / "o.json")
+        )
+        assert code == 0
+        assert "jobs_effective=1" in output
+        written = json.loads((tmp_path / "o.json").read_text())
+        assert written["jobs_effective"] == 1
+
+
+class TestCommittedBench:
+    def test_bench3_meets_acceptance_vs_bench2(self):
+        """The committed BENCH_3.json demonstrates the PR's wins."""
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent
+        b2 = json.loads((root / "BENCH_2.json").read_text())
+        b3 = json.loads((root / "BENCH_3.json").read_text())
+        assert b3["schema"] == "repro-bench-v3"
+        assert b3["pool"]["spawns"] == 1
+        assert b3["pool"]["reuses"] >= 1
+        for app in ("cap3", "blast", "gtm"):
+            old = b2["sweeps"][app]
+            new = b3["sweeps"][app]
+            old_ratio = old["parallel_s"] / old["serial_s"]
+            new_ratio = new["parallel_s"] / new["serial_s"]
+            assert new_ratio < old_ratio, app
+            assert new["chunk_sizes"]
+            assert b3["workloads"][app]["store_hits"] == 1
+        blast_speedup = (
+            b2["sweeps"]["blast"]["serial_s"]
+            / b3["sweeps"]["blast"]["serial_s"]
+        )
+        assert blast_speedup >= 1.5

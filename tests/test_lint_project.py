@@ -53,6 +53,22 @@ class TestFixtures:
         assert result.ok
         assert "RPR101" in {v.code for v in result.suppressed}
 
+    def test_rpr104_chunked_submission_trigger(self):
+        result = lint_file(FIXTURES / "rpr104_chunk_trigger.py")
+        assert not result.ok
+        assert {v.code for v in result.violations} == {"RPR104"}
+        (violation,) = result.violations
+        assert "chunk" in violation.message
+
+    def test_rpr104_chunked_submission_clean(self):
+        result = lint_file(FIXTURES / "rpr104_chunk_clean.py")
+        assert result.ok, [v.format() for v in result.violations]
+
+    def test_rpr104_chunked_submission_noqa(self):
+        result = lint_file(FIXTURES / "rpr104_chunk_noqa.py")
+        assert result.ok
+        assert "RPR104" in {v.code for v in result.suppressed}
+
     def test_rpr103_message_carries_the_call_chain(self):
         result = lint_file(FIXTURES / "rpr103_trigger.py")
         (violation,) = result.violations

@@ -252,11 +252,31 @@ class TestResolveJobs:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(None) == max(1, os.cpu_count() or 1)
 
-    def test_floor_is_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-5) == 1
+    def test_zero_and_negative_args_raise(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_jobs(0)
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_jobs(-5)
+
+    def test_non_integer_args_raise(self):
+        with pytest.raises(TypeError, match="positive integer"):
+            resolve_jobs(2.5)
+        with pytest.raises(TypeError, match="positive integer"):
+            resolve_jobs("4")
+        with pytest.raises(TypeError, match="positive integer"):
+            resolve_jobs(True)
 
     def test_garbage_env_var_raises(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
         with pytest.raises(ValueError, match="REPRO_JOBS"):
             resolve_jobs(None)
+
+    @pytest.mark.parametrize("value", ["0", "-3", "2.5", " "])
+    def test_invalid_env_values_raise(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        if value.strip():
+            with pytest.raises(ValueError, match="REPRO_JOBS"):
+                resolve_jobs(None)
+        else:
+            # Pure whitespace degrades to "unset", not an error.
+            assert resolve_jobs(None) >= 1

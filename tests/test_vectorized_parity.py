@@ -1,0 +1,310 @@
+"""Byte-identical parity for the vectorized app hot paths.
+
+The NumPy rewrites of BLAST k-mer seeding / X-drop extension and Cap3
+k-mer seeding must be *indistinguishable* from the scalar loops they
+replaced — same probes in the same order, same coordinates, same
+scores, same assemblies.  Each reference below is the pre-vectorization
+implementation, kept verbatim as an executable specification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import blast as blast_mod
+from repro.apps.blast import (
+    AMINO_ACIDS,
+    BlastParams,
+    LowComplexityFilter,
+    _BLOSUM62,
+    _encode,
+    _query_words,
+    _ungapped_extend,
+    blast_search,
+    mask_low_complexity,
+)
+from repro.apps.cap3 import Cap3Params, _find_overlaps, _seed_keys, assemble
+from repro.apps.fasta import FastaRecord
+
+
+# -- scalar references (pre-vectorization code, verbatim) -----------------
+
+
+def _query_words_reference(enc, params):
+    k = params.word_size
+    base = enc.astype(np.uint8).tobytes()
+    masked = None
+    if params.low_complexity_filter is not None:
+        masked = mask_low_complexity(enc, params.low_complexity_filter)
+    probes = []
+    for pos in range(0, len(base) - k + 1):
+        if masked is not None and masked[pos : pos + k].any():
+            continue
+        word = base[pos : pos + k]
+        probes.append((pos, word))
+        if params.neighborhood_threshold is None:
+            continue
+        exact = sum(int(_BLOSUM62[word[i], word[i]]) for i in range(k))
+        for i in range(k):
+            original = word[i]
+            for replacement in range(len(AMINO_ACIDS)):
+                if replacement == original:
+                    continue
+                score = (
+                    exact
+                    - int(_BLOSUM62[original, original])
+                    + int(_BLOSUM62[original, replacement])
+                )
+                if score >= params.neighborhood_threshold:
+                    variant = bytearray(word)
+                    variant[i] = replacement
+                    probes.append((pos, bytes(variant)))
+    return probes
+
+
+def _ungapped_extend_reference(query, subject, q_pos, s_pos, word_size, xdrop):
+    seed_score = float(
+        _BLOSUM62[
+            query[q_pos : q_pos + word_size],
+            subject[s_pos : s_pos + word_size],
+        ].sum()
+    )
+    best = running = seed_score
+    best_right = 0
+    i = 0
+    while True:
+        qi, si = q_pos + word_size + i, s_pos + word_size + i
+        if qi >= len(query) or si >= len(subject):
+            break
+        running += int(_BLOSUM62[query[qi], subject[si]])
+        i += 1
+        if running > best:
+            best, best_right = running, i
+        elif best - running > xdrop:
+            break
+    running = best
+    best_left = 0
+    i = 0
+    while True:
+        qi, si = q_pos - 1 - i, s_pos - 1 - i
+        if qi < 0 or si < 0:
+            break
+        running += int(_BLOSUM62[query[qi], subject[si]])
+        i += 1
+        if running > best:
+            best, best_left = running, i
+        elif best - running > xdrop:
+            break
+    q_start = q_pos - best_left
+    s_start = s_pos - best_left
+    q_end = q_pos + word_size + best_right
+    s_end = s_pos + word_size + best_right
+    return q_start, q_end, s_start, s_end, best
+
+
+def _random_protein(rng, length):
+    return "".join(AMINO_ACIDS[i] for i in rng.integers(0, 20, size=length))
+
+
+class TestQueryWordsParity:
+    @pytest.mark.parametrize("threshold", [None, 11, 13])
+    def test_random_queries(self, threshold):
+        rng = np.random.default_rng(7)
+        params = BlastParams(neighborhood_threshold=threshold)
+        for length in (2, 3, 5, 40, 120):
+            enc = _encode(_random_protein(rng, length))
+            assert _query_words(enc, params) == _query_words_reference(
+                enc, params
+            ), (threshold, length)
+
+    def test_with_low_complexity_filter(self):
+        rng = np.random.default_rng(8)
+        params = BlastParams(
+            neighborhood_threshold=11,
+            low_complexity_filter=LowComplexityFilter(window=8),
+        )
+        # Splice in a low-complexity homopolymer run to exercise masking.
+        seq = _random_protein(rng, 30) + "A" * 20 + _random_protein(rng, 30)
+        enc = _encode(seq)
+        probes = _query_words(enc, params)
+        assert probes == _query_words_reference(enc, params)
+        assert probes  # the unmasked flanks still seed
+
+    def test_fully_masked_query(self):
+        params = BlastParams(
+            low_complexity_filter=LowComplexityFilter(window=6)
+        )
+        enc = _encode("A" * 24)
+        assert _query_words(enc, params) == []
+
+
+class TestUngappedExtendParity:
+    def test_random_seed_positions(self):
+        rng = np.random.default_rng(9)
+        for trial in range(200):
+            qlen = int(rng.integers(3, 80))
+            slen = int(rng.integers(3, 200))
+            k = 3
+            if qlen < k or slen < k:
+                continue
+            query = rng.integers(0, 20, size=qlen)
+            subject = rng.integers(0, 20, size=slen)
+            q_pos = int(rng.integers(0, qlen - k + 1))
+            s_pos = int(rng.integers(0, slen - k + 1))
+            got = _ungapped_extend(query, subject, q_pos, s_pos, k, 7.0)
+            want = _ungapped_extend_reference(
+                query, subject, q_pos, s_pos, k, 7.0
+            )
+            assert got == want, (trial, q_pos, s_pos)
+
+    def test_identical_sequences_extend_fully(self):
+        rng = np.random.default_rng(10)
+        seq = rng.integers(0, 20, size=50)
+        q0, q1, s0, s1, score = _ungapped_extend(seq, seq, 20, 20, 3, 7.0)
+        assert (q0, q1) == (0, 50)
+        assert (s0, s1) == (0, 50)
+        assert score == float(_BLOSUM62[seq, seq].sum())
+
+    def test_boundary_seeds(self):
+        # Seeds flush against either end must not wrap or over-read.
+        rng = np.random.default_rng(11)
+        query = rng.integers(0, 20, size=10)
+        subject = rng.integers(0, 20, size=10)
+        for q_pos, s_pos in [(0, 0), (0, 7), (7, 0), (7, 7)]:
+            assert _ungapped_extend(
+                query, subject, q_pos, s_pos, 3, 7.0
+            ) == _ungapped_extend_reference(
+                query, subject, q_pos, s_pos, 3, 7.0
+            )
+
+
+class TestBlastEndToEnd:
+    def test_neighborhood_search_matches_scalar_probe_stream(self):
+        """End to end: same hits with neighbourhood words + filtering."""
+        from repro.workloads.protein import (
+            generate_protein_database,
+            generate_query_records,
+        )
+
+        db = generate_protein_database(15, seed=21)
+        queries = generate_query_records(db, 12, seed=22)
+        params = BlastParams(
+            neighborhood_threshold=11,
+            low_complexity_filter=LowComplexityFilter(),
+        )
+        results = blast_search(queries, db, params)
+        # Pin against a probe-stream-faithful rerun through the
+        # reference seeder (monkeypatched), hit for hit.
+        original = blast_mod._query_words
+        blast_mod._query_words = _query_words_reference
+        try:
+            reference = blast_search(queries, db, params)
+        finally:
+            blast_mod._query_words = original
+        assert results == reference
+
+
+class TestCap3SeedParity:
+    def test_seed_keys_injective_and_ordered(self):
+        rng = np.random.default_rng(12)
+        seq = "".join("ACGTN"[i] for i in rng.integers(0, 5, size=200))
+        arr = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+        k = 12
+        keys = _seed_keys(arr, k)
+        byte_windows = [
+            seq.encode("ascii")[i : i + k] for i in range(len(seq) - k + 1)
+        ]
+        assert len(keys) == len(byte_windows)
+        # Packed codes must distinguish exactly what the bytes do.
+        for i, a in enumerate(byte_windows):
+            for j, b in enumerate(byte_windows):
+                assert (keys[i] == keys[j]) == (a == b)
+
+    def test_large_k_fallback(self):
+        arr = np.frombuffer(b"ACGT" * 20, dtype=np.uint8)
+        keys = _seed_keys(arr, 30)
+        assert keys[0] == b"ACGT" * 7 + b"AC"
+        assert len(keys) == 80 - 30 + 1
+
+    def test_overlap_discovery_unchanged(self):
+        """Same overlaps (order included) as the byte-sliced index."""
+        from repro.workloads.genome import generate_read_records
+
+        reads = generate_read_records(
+            60, read_length=100, rng=np.random.default_rng(13)
+        )
+        params = Cap3Params()
+        arrays = [
+            np.frombuffer(r.seq.upper().encode("ascii"), dtype=np.uint8)
+            for r in reads
+        ]
+        overlaps, candidates = _find_overlaps(arrays, params)
+
+        # Reference: the pre-vectorization byte-keyed index, verbatim.
+        from repro.apps.cap3 import _verify_overlap
+
+        k = params.kmer_size
+        index = {}
+        for read_idx, arr in enumerate(arrays):
+            seq_bytes = arr.tobytes()
+            for pos in range(0, len(seq_bytes) - k + 1):
+                index.setdefault(seq_bytes[pos : pos + k], []).append(
+                    (read_idx, pos)
+                )
+        ref_candidates = 0
+        ref_best = {}
+        for b_idx, b_arr in enumerate(arrays):
+            b_bytes = b_arr.tobytes()
+            span = max(0, min(params.max_seed_span, len(b_bytes) - k + 1))
+            probed = set()
+            for s in range(0, span, params.seed_stride):
+                seed = b_bytes[s : s + k]
+                for a_idx, a_pos in index.get(seed, ()):
+                    if a_idx == b_idx:
+                        continue
+                    a_start = a_pos - s
+                    if a_start < 0:
+                        continue
+                    key = (a_idx, a_start)
+                    if key in probed:
+                        continue
+                    probed.add(key)
+                    ref_candidates += 1
+                    overlap = _verify_overlap(
+                        a_idx, b_idx, arrays[a_idx], b_arr, a_start, params
+                    )
+                    if overlap is None:
+                        continue
+                    pair = (a_idx, b_idx)
+                    existing = ref_best.get(pair)
+                    if existing is None or overlap.score > existing.score:
+                        ref_best[pair] = overlap
+        assert candidates == ref_candidates
+        assert overlaps == list(ref_best.values())
+
+    def test_assembly_end_to_end_stable(self):
+        from repro.workloads.genome import generate_read_records
+
+        reads = generate_read_records(
+            50,
+            read_length=100,
+            both_strands=True,
+            rng=np.random.default_rng(14),
+        )
+        result = assemble(reads)
+        again = assemble(reads)
+        assert [c.seq for c in result.contigs] == [
+            c.seq for c in again.contigs
+        ]
+        assert result.stats == again.stats
+        assert result.stats["contigs"] >= 1
+
+
+class TestFastaConsensusRoundTrip:
+    def test_consensus_string_is_ascii_bases(self):
+        reads = [
+            FastaRecord(id="r1", seq="ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"),
+            FastaRecord(id="r2", seq="ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"),
+        ]
+        result = assemble(reads, Cap3Params(min_overlap=12, kmer_size=4))
+        for contig in result.contigs:
+            assert set(contig.seq) <= set("ACGTN")
