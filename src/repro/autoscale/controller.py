@@ -100,6 +100,7 @@ class AutoscaleController:
 
         obs = _current_obs()
         self._tracer = obs.tracer
+        self._timeline = obs.timeline
         self._g_pool = obs.metrics.gauge("autoscale.pool_instances")
         self._g_spot = obs.metrics.gauge("autoscale.pool_spot_instances")
         self._g_backlog = obs.metrics.gauge("autoscale.backlog")
@@ -115,12 +116,14 @@ class AutoscaleController:
 
     def _update_gauges(self) -> None:
         active = self.active_instances()
+        n_spot = sum(1 for i in active if i.market == "spot")
         if len(active) > self.peak_instances:
             self.peak_instances = len(active)
         self._g_pool.set(float(len(active)))
-        self._g_spot.set(
-            float(sum(1 for i in active if i.market == "spot"))
-        )
+        self._g_spot.set(float(n_spot))
+        now = self.env.now
+        self._timeline.sample("autoscale.pool_instances", now, len(active))
+        self._timeline.sample("autoscale.pool_spot_instances", now, n_spot)
 
     def track(self, instance: VmInstance, workers: list) -> None:
         """Adopt an externally provisioned instance and its workers."""
@@ -209,6 +212,7 @@ class AutoscaleController:
                 return
             backlog = self.task_queue.approximate_size()
             self._g_backlog.set(float(backlog))
+            self._timeline.sample("autoscale.backlog", self.env.now, backlog)
             active = self.active_instances()
             current = len(active)
             desired = plan.clamp(

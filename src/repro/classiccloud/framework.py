@@ -252,6 +252,7 @@ class _SimRun:
         self.measure_start = 0.0
         self.preload_seconds = 0.0
         self._worker_counter = 0
+        self._busy_workers = 0
         self._worker_instance: dict[int, VmInstance] = {}
         self.controller: AutoscaleController | None = None
         if config.autoscale is not None:
@@ -512,6 +513,31 @@ class _SimRun:
                 pass
 
     # -- the worker ------------------------------------------------------------
+    def _sample_busy(self, delta: int) -> None:
+        """Timeline samples: busy workers + utilization over sim time.
+
+        Best-effort by design: a worker killed mid-task (poison /
+        preemption) never emits its ``-1``, slightly inflating the last
+        samples of a faulty run — acceptable for a sampled gauge.
+        """
+        if not self.obs.enabled:
+            return
+        self._busy_workers += delta
+        now = self.env.now
+        timeline = self.obs.timeline
+        timeline.sample("workers.busy", now, self._busy_workers)
+        if self.controller is not None:
+            slots = (
+                len(self.controller.active_instances())
+                * self.config.workers_per_instance
+            )
+        else:
+            slots = self.config.total_workers
+        if slots > 0:
+            timeline.sample(
+                "workers.utilization", now, self._busy_workers / slots
+            )
+
     def _worker(
         self,
         host,
@@ -555,6 +581,8 @@ class _SimRun:
                         name=f"{name}-respawn",
                     )
                     return
+
+                self._sample_busy(+1)
 
                 # Download the input file over HTTP, retrying through
                 # eventual-consistency 404s.  Bounded: a key that never
@@ -653,6 +681,7 @@ class _SimRun:
                         "task.upload", track=name,
                         start=t2, end=t2 + upload_time, task_id=tid,
                     )
+                self._sample_busy(-1)
                 wait_start = self.env.now
         except Interrupt:
             return  # crashed: in-flight message reappears after timeout

@@ -12,8 +12,13 @@ Commands:
   written to ``BENCH_3.json`` (:mod:`repro.sweep.bench`);
 * ``cache`` — inspect (``stats``) or empty (``clear``) the
   content-addressed sweep result cache under ``.repro-cache/``;
+* ``sweep`` — run the instance-type sweep through the worker pool;
+  with ``--trace`` exports one **merged multi-process** Chrome trace
+  covering the parent and every pool worker;
 * ``trace`` — validate and summarize a Chrome ``trace_event`` JSON
-  exported by ``run --trace`` (:mod:`repro.obs`);
+  exported by ``run --trace`` / ``sweep --trace`` (:mod:`repro.obs`);
+* ``report`` — render a trace + run result + ``BENCH_*.json`` history
+  as one self-contained HTML report (:mod:`repro.obs.report`);
 * ``lint`` — the determinism linter over the simulation sources
   (:mod:`repro.lint`).
 """
@@ -126,11 +131,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="billing mode for the elastic pool's instances",
     )
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run the paper's instance-type sweep through the worker pool",
+    )
+    sweep_parser.add_argument(
+        "--app", choices=("cap3", "blast", "gtm"), default="cap3"
+    )
+    sweep_parser.add_argument("--files", type=int, default=16)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: REPRO_JOBS or cpu count)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the result cache under .repro-cache/",
+    )
+    sweep_parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="capture inside every worker process and export one merged "
+        "multi-process Chrome trace_event JSON",
+    )
+
     trace_parser = sub.add_parser(
         "trace", help="validate and summarize an exported Chrome trace"
     )
     trace_parser.add_argument(
-        "trace", help="trace JSON written by 'run --trace'"
+        "trace", help="trace JSON written by 'run --trace' or 'sweep --trace'"
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render a self-contained HTML report from a trace, a run "
+        "result and the BENCH_*.json history",
+    )
+    report_parser.add_argument(
+        "trace", help="Chrome trace JSON (from 'run --trace' or 'sweep --trace')"
+    )
+    report_parser.add_argument(
+        "--run", default=None, metavar="RESULT.json",
+        help="RunResult JSON exported via RunResult.to_json",
+    )
+    report_parser.add_argument(
+        "--bench", nargs="*", default=None, metavar="BENCH.json",
+        help="bench history files, oldest first (default: BENCH_*.json "
+        "in the working directory)",
+    )
+    report_parser.add_argument(
+        "-o", "--output", default="report.html", help="output HTML path"
+    )
+    report_parser.add_argument("--title", default=None)
+    report_parser.add_argument(
+        "--timeline-csv", default=None, metavar="OUT.csv",
+        help="also write the trace's timeline counter series as CSV",
     )
 
     bench_parser = sub.add_parser(
@@ -155,6 +209,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--gate-tolerance", type=float, default=0.10, metavar="FRACTION",
         help="allowed kernel events/s regression fraction (default 0.10)",
+    )
+    bench_parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="compare two BENCH JSON files and print a delta table with "
+        "regressions flagged (skips running the suite)",
     )
 
     cache_parser = sub.add_parser(
@@ -426,6 +485,148 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    if _resolved_jobs_or_none(args, out) is None:
+        return 2
+    from repro.sweep.cache import default_cache
+    from repro.sweep.points import point_for
+    from repro.sweep.runner import run_points
+
+    app = get_application(args.app)
+    tasks = _tasks_for(args.app, args.files, False, args.seed)
+    shapes = [("L", 8, 2), ("XL", 4, 4), ("HCXL", 2, 8), ("HM4XL", 2, 8)]
+    points = [
+        point_for(
+            app,
+            make_backend(
+                "ec2",
+                instance_type=itype,
+                n_instances=n,
+                workers_per_instance=w,
+                fault_plan=FaultPlan.none(),
+                seed=args.seed,
+            ),
+            tasks,
+        )
+        for itype, n, w in shapes
+    ]
+    cache = None if args.no_cache else default_cache()
+
+    def show_progress(event) -> None:
+        print(
+            f"[{event.index + 1}/{event.total}] "
+            f"{event.label}: {event.status}",
+            file=out,
+        )
+
+    obs = None
+    if args.trace:
+        from repro.obs import Observability, observe
+
+        obs = Observability.make(label=f"{args.app}-sweep")
+        with observe(obs):
+            results = run_points(
+                points, jobs=args.jobs, cache=cache, progress=show_progress
+            )
+    else:
+        results = run_points(
+            points, jobs=args.jobs, cache=cache, progress=show_progress
+        )
+    rows = [
+        [r.label, f"{r.makespan_s:,.1f} s", f"${r.amortized_cost:.2f}"]
+        for r in results
+    ]
+    print(format_table(
+        ["instance type", "makespan", "amortized cost"], rows,
+        title=f"{args.app} sweep ({args.files} files)",
+    ), file=out)
+    if args.trace:
+        from repro.obs import summarize_chrome_trace, write_chrome_trace
+
+        document = write_chrome_trace(args.trace, obs)
+        workers = document["otherData"].get("workers", [])
+        print(file=out)
+        print(summarize_chrome_trace(document), file=out)
+        print(file=out)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(document['traceEvents'])} events, "
+            f"{len(workers)} worker process(es) merged; open in "
+            "chrome://tracing or ui.perfetto.dev)",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    import json
+    from glob import glob
+
+    from repro.obs import series_from_trace, validate_chrome_trace
+    from repro.obs.report import write_report
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no such trace {args.trace!r}", file=out)
+        return 2
+    except ValueError as exc:
+        print(f"error: {args.trace} is not JSON: {exc}", file=out)
+        return 2
+    errors = validate_chrome_trace(document)
+    if errors:
+        print(f"{args.trace}: invalid Chrome trace", file=out)
+        for error in errors:
+            print(f"  - {error}", file=out)
+        return 2
+    run = None
+    if args.run:
+        try:
+            with open(args.run, encoding="utf-8") as handle:
+                run = json.load(handle)
+        except FileNotFoundError:
+            print(f"error: no such run result {args.run!r}", file=out)
+            return 2
+    bench_paths = (
+        args.bench if args.bench is not None else sorted(glob("BENCH_*.json"))
+    )
+    history = []
+    for path in bench_paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                history.append((os.path.basename(path), json.load(handle)))
+        except FileNotFoundError:
+            print(f"error: no such bench file {path!r}", file=out)
+            return 2
+        except ValueError as exc:
+            print(f"error: {path} is not JSON: {exc}", file=out)
+            return 2
+    title = args.title or f"repro report — {os.path.basename(args.trace)}"
+    write_report(
+        args.output, document, run=run, bench_history=history, title=title
+    )
+    print(
+        f"report written to {args.output} (self-contained HTML; "
+        f"trace {args.trace}, {len(history)} bench file(s))",
+        file=out,
+    )
+    if args.timeline_csv:
+        series = series_from_trace(document)
+        lines = ["series,time_s,value"]
+        for name in sorted(series):
+            for ts, value in series[name]:
+                lines.append(f"{name},{ts:.9g},{value:.9g}")
+        with open(args.timeline_csv, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(
+            f"timeline CSV written to {args.timeline_csv} "
+            f"({len(lines) - 1} samples)",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_trace(args, out) -> int:
     import json
 
@@ -484,6 +685,32 @@ def _cmd_cost(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
+    if args.compare is not None:
+        import json
+
+        from repro.obs.report import bench_compare, format_bench_compare
+
+        docs = []
+        for path in args.compare:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    docs.append(json.load(handle))
+            except FileNotFoundError:
+                print(f"error: no such bench file {path!r}", file=out)
+                return 2
+            except ValueError as exc:
+                print(f"error: {path} is not JSON: {exc}", file=out)
+                return 2
+        rows = bench_compare(docs[0], docs[1], tolerance=args.gate_tolerance)
+        print(
+            format_bench_compare(
+                rows,
+                os.path.basename(args.compare[0]),
+                os.path.basename(args.compare[1]),
+            ),
+            file=out,
+        )
+        return 0
     if _resolved_jobs_or_none(args, out) is None:
         return 2
     from repro.sweep.bench import main as bench_main
@@ -617,8 +844,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_catalog(out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     if args.command == "cost":
         return _cmd_cost(args, out)
     if args.command == "bench":

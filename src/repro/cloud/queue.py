@@ -120,9 +120,13 @@ class MessageQueue:
         self.stats = QueueStats()
         # Metrics instruments fetched once; null no-ops unless a caller
         # wrapped this run in repro.obs.observe().
-        metrics = _current_obs().metrics
+        obs = _current_obs()
+        metrics = obs.metrics
         self._m_requests = metrics.counter(f"queue.{name}.requests")
         self._m_depth = metrics.gauge(f"queue.{name}.depth")
+        # Timeline sampling: depth over sim time (null no-op by default).
+        self._timeline = obs.timeline
+        self._tl_depth = f"queue.{name}.depth"
         self._m_redeliveries = metrics.counter(f"queue.{name}.redeliveries")
         self._m_dead_letters = metrics.counter(f"queue.{name}.dead_letters")
         self._m_empty_receives = metrics.counter(f"queue.{name}.empty_receives")
@@ -153,6 +157,11 @@ class MessageQueue:
         if self.meter is not None:
             self.meter.record_queue_request()
 
+    def _set_depth(self) -> None:
+        depth = len(self._messages)
+        self._m_depth.set(depth)
+        self._timeline.sample(self._tl_depth, self.env.now, depth)
+
     def _promote_due(self) -> None:
         """Move pending messages whose visible_at has passed into view."""
         while self._pending and self._pending[0][0] <= self.env.now:
@@ -175,7 +184,7 @@ class MessageQueue:
                     del self._messages[message_id]
                     self.stats.dead_lettered += 1
                     self._m_dead_letters.inc()
-                    self._m_depth.set(len(self._messages))
+                    self._set_depth()
                     if self.dead_letter_queue is not None:
                         self.dead_letter_queue._accept_dead_letter(message)
                     continue
@@ -199,7 +208,7 @@ class MessageQueue:
             self._pending, (visible_at, next(self._seq), message_id)
         )
         self.stats.sent += 1
-        self._m_depth.set(len(self._messages))
+        self._set_depth()
         return message_id
 
     def _accept_dead_letter(self, message: Message) -> None:
@@ -217,7 +226,7 @@ class MessageQueue:
             self._pending, (self.env.now, next(self._seq), message_id)
         )
         self.stats.sent += 1
-        self._m_depth.set(len(self._messages))
+        self._set_depth()
 
     def send_batch(self, bodies: list[Any]) -> Generator:
         """Enqueue up to 10 messages in one API request (process).
@@ -244,7 +253,7 @@ class MessageQueue:
             )
             self.stats.sent += 1
             ids.append(message_id)
-        self._m_depth.set(len(self._messages))
+        self._set_depth()
         return ids
 
     def receive(
@@ -332,7 +341,7 @@ class MessageQueue:
         self._inflight.pop(message.message_id, None)
         if self._messages.pop(message.message_id, None) is not None:
             self.stats.deleted += 1
-            self._m_depth.set(len(self._messages))
+            self._set_depth()
         if message.message_id in self._visible:
             self._visible.remove(message.message_id)
 

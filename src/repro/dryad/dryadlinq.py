@@ -243,6 +243,13 @@ class _DryadRun:
                     continue
                 yield self.env.timeout(read_time + service + write_time)
                 self.completed.add(task.task_id)
+                if self.obs.enabled:
+                    # Timeline sample: job progress over sim time.
+                    self.obs.timeline.sample(
+                        "scheduler.tasks_completed",
+                        self.env.now,
+                        len(self.completed),
+                    )
                 if self.tracer.enabled:
                     tid = task.task_id
                     self.tracer.add(

@@ -287,6 +287,7 @@ class _HadoopRun:
                 speculative=speculative,
             )
             self.running.setdefault(task.task_id, []).append(info)
+            self._sample_running()
 
             fails = (
                 config.task_failure_probability
@@ -353,6 +354,16 @@ class _HadoopRun:
             attempts.remove(info)
         if not attempts:
             self.running.pop(task.task_id, None)
+        self._sample_running()
+
+    def _sample_running(self) -> None:
+        """Timeline sample: in-flight attempts over sim time."""
+        if self.obs.enabled:
+            self.obs.timeline.sample(
+                "scheduler.running_tasks",
+                self.env.now,
+                sum(len(a) for a in self.running.values()),
+            )
 
 
 class MiniHadoop:

@@ -295,12 +295,22 @@ class PoolCaptureRule(ProjectRule):
     @staticmethod
     def _payload_exprs(arg: ast.expr) -> Iterator[ast.expr]:
         """The argument itself plus the elements of literal containers
-        (a chunk is typically a list of specs built in place)."""
+        (a chunk is typically a list of specs built in place; a worker
+        payload is a dict literal; capture flags ride as conditionals)."""
         yield arg
         if isinstance(arg, (ast.List, ast.Tuple, ast.Set)):
             yield from arg.elts
         elif isinstance(arg, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
             yield arg.elt
+        elif isinstance(arg, ast.Dict):
+            yield from (key for key in arg.keys if key is not None)
+            yield from arg.values
+        elif isinstance(arg, ast.DictComp):
+            yield arg.key
+            yield arg.value
+        elif isinstance(arg, ast.IfExp):
+            yield from PoolCaptureRule._payload_exprs(arg.body)
+            yield from PoolCaptureRule._payload_exprs(arg.orelse)
 
     @staticmethod
     def _pointspec_calls(fn: FunctionInfo) -> Iterator[ast.Call]:
@@ -370,9 +380,15 @@ class SpanLeakRule(ProjectRule):
                 continue
             if id(node) in with_exprs:
                 continue
-            # `handle = tracer.span(...)` then `with handle:` is fine.
+            # `handle = tracer.span(...)` then `with handle:` is fine,
+            # as is a handle deterministically closed in a finally —
+            # the pattern worker-side capture uses when a span must
+            # cross a dispatch boundary a with-block cannot straddle.
             assigned = self._assigned_name(fn.node, node)
-            if assigned is not None and assigned in with_names:
+            if assigned is not None and (
+                assigned in with_names
+                or assigned in self._finally_closed(fn.node)
+            ):
                 continue
             yield self.project_violation(
                 fn.path,
@@ -389,3 +405,24 @@ class SpanLeakRule(ProjectRule):
                 if isinstance(target, ast.Name):
                     return target.id
         return None
+
+    @staticmethod
+    def _finally_closed(root: ast.AST) -> set[str]:
+        """Names whose ``.close()`` / ``.__exit__()`` runs in a
+        ``finally`` block — closed on every path, exception included."""
+        closed: set[str] = set()
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Try) or not node.finalbody:
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    func = call.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in ("close", "__exit__")
+                        and isinstance(func.value, ast.Name)
+                    ):
+                        closed.add(func.value.id)
+        return closed

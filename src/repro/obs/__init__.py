@@ -9,14 +9,26 @@ Opt in around any run::
     write_chrome_trace("out.json", obs)
 
 Everything defaults to null objects (:data:`NULL_TRACER`,
-:data:`NULL_METRICS`), so code instrumented with this package costs an
-empty method call per event when nobody is observing.
+:data:`NULL_METRICS`, :data:`NULL_TIMELINE`), so code instrumented with
+this package costs an empty method call per event when nobody is
+observing.  Parallel sweeps capture inside each worker process and
+merge on the way out (see :mod:`repro.obs.context` and
+:mod:`repro.obs.export`); :mod:`repro.obs.report` renders the merged
+story as a self-contained HTML report.
 """
 
-from repro.obs.context import NULL_OBSERVABILITY, Observability, current, observe
+from repro.obs.context import (
+    NULL_OBSERVABILITY,
+    Observability,
+    WorkerCapture,
+    current,
+    observe,
+    worker_payload,
+)
 from repro.obs.export import (
     chrome_trace,
     phase_fractions,
+    phase_fractions_by_point,
     summarize_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -29,6 +41,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.report import bench_compare, format_bench_compare, render_report, write_report
+from repro.obs.timeline import NULL_TIMELINE, NullTimeline, Timeline, series_from_trace
 from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer
 
 __all__ = [
@@ -39,17 +53,28 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRICS",
     "NULL_OBSERVABILITY",
+    "NULL_TIMELINE",
     "NULL_TRACER",
     "NullMetricsRegistry",
+    "NullTimeline",
     "NullTracer",
     "Observability",
     "Span",
+    "Timeline",
     "Tracer",
+    "WorkerCapture",
+    "bench_compare",
     "chrome_trace",
     "current",
+    "format_bench_compare",
     "observe",
     "phase_fractions",
+    "phase_fractions_by_point",
+    "render_report",
+    "series_from_trace",
     "summarize_chrome_trace",
     "validate_chrome_trace",
+    "worker_payload",
     "write_chrome_trace",
+    "write_report",
 ]

@@ -19,19 +19,48 @@ and callers opt in for the duration of one run::
 The context is **thread-local** at the point of lookup: a run grabs its
 bundle once on the driving thread and closes over it, so worker threads
 it spawns publish into the same bundle.  Sweep worker *processes* start
-fresh and see the null bundle — traced runs go inline by design.
+fresh — when the parent's bundle is live, ``_run_chunk`` installs a
+private bundle per point, serializes it with :func:`worker_payload`,
+and the parent folds it back in with :meth:`Observability.adopt_worker`
+so the exported trace tells the whole multi-process story.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.timeline import NULL_TIMELINE, Timeline
+from repro.obs.tracer import NULL_TRACER, Instant, Span, Tracer
 
-__all__ = ["Observability", "current", "observe"]
+__all__ = [
+    "Observability",
+    "WorkerCapture",
+    "current",
+    "observe",
+    "worker_payload",
+]
+
+
+@dataclass
+class WorkerCapture:
+    """One worker process's serialized capture, adopted by the parent.
+
+    ``os_pid`` is the worker's real OS pid; the exporter assigns it a
+    synthetic Chrome trace pid (one per process × time domain).  All
+    fields are plain data — this is exactly what crossed the pickle
+    boundary.
+    """
+
+    os_pid: int
+    label: str
+    spans: list[Span] = field(default_factory=list)
+    instants: list[Instant] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    timeline: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -40,6 +69,8 @@ class Observability:
 
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+    timeline: Timeline = field(default_factory=lambda: NULL_TIMELINE)
+    workers: list[WorkerCapture] = field(default_factory=list)
 
     @property
     def enabled(self) -> bool:
@@ -47,8 +78,51 @@ class Observability:
 
     @classmethod
     def make(cls, label: str = "") -> "Observability":
-        """A live bundle: real tracer + real registry."""
-        return cls(tracer=Tracer(label=label), metrics=MetricsRegistry())
+        """A live bundle: real tracer + real registry + real timeline."""
+        return cls(
+            tracer=Tracer(label=label),
+            metrics=MetricsRegistry(),
+            timeline=Timeline(),
+        )
+
+    def adopt_worker(self, payload: dict) -> "WorkerCapture | None":
+        """Fold a :func:`worker_payload` dict back into this bundle.
+
+        The capture is kept whole (the exporter needs per-process
+        grouping) and the worker's metrics are merged into the parent
+        registry so pool/cache/sim counters aggregate across processes.
+        No-op on the null bundle.
+        """
+        if not self.enabled:
+            return None
+        capture = WorkerCapture(
+            os_pid=int(payload.get("os_pid", 0)),
+            label=str(payload.get("label", "")),
+            spans=list(payload.get("spans", ())),
+            instants=list(payload.get("instants", ())),
+            metrics=dict(payload.get("metrics", {})),
+            timeline=dict(payload.get("timeline", {})),
+        )
+        self.workers.append(capture)
+        self.metrics.merge(capture.metrics)
+        return capture
+
+
+def worker_payload(obs: Observability, label: str = "") -> dict:
+    """Serialize a worker-side bundle into a picklable plain-data dict.
+
+    Shipped back with each chunk result; the parent re-hydrates it via
+    :meth:`Observability.adopt_worker`.
+    """
+    spans, instants = obs.tracer.snapshot()
+    return {
+        "os_pid": os.getpid(),
+        "label": label or obs.tracer.label,
+        "spans": spans,
+        "instants": instants,
+        "metrics": obs.metrics.snapshot(),
+        "timeline": obs.timeline.snapshot(),
+    }
 
 
 #: Shared null bundle — what current() returns outside observe().

@@ -3,10 +3,20 @@
 The Chrome format is the `trace_event` JSON-object form — load the file
 in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans become
 complete (``"ph": "X"``) events with microsecond timestamps; instants
-become ``"ph": "i"`` events; tracks map to thread ids with
-``thread_name`` metadata, and each time domain (simulated seconds vs
-host wall clock) gets its own process id so the two timelines never
-interleave on one row.
+become ``"ph": "i"`` events; timeline samples become counter
+(``"ph": "C"``) events; tracks map to thread ids with ``thread_name``
+metadata, and each time domain (simulated seconds vs host wall clock)
+gets its own process id so the two timelines never interleave on one
+row.
+
+Multi-process merging: a parallel sweep's worker processes each ship a
+:class:`~repro.obs.context.WorkerCapture` back to the parent, and
+:func:`chrome_trace` merges them into the same document — every worker
+process × time domain gets its own synthetic pid (allocated from
+``_WORKER_PID_BASE`` in first-seen order) with a ``process_name``
+metadata event naming the worker's real OS pid, and every span is
+tagged with the sweep point it belongs to (``args["point"]``) so
+per-point phase totals survive the merge.
 
 :func:`validate_chrome_trace` checks the schema (CI runs it on the
 traced smoke sweep) and :func:`summarize_chrome_trace` renders the
@@ -19,14 +29,17 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable
 
-from repro.obs.context import Observability
+from repro.obs.context import Observability, WorkerCapture
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import Timeline
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "chrome_trace",
     "phase_fractions",
+    "phase_fractions_by_point",
     "summarize_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
@@ -35,6 +48,10 @@ __all__ = [
 #: pid assignment per time domain (Chrome groups rows by pid).
 _DOMAIN_PIDS = {"sim": 1, "wall": 2}
 _DOMAIN_NAMES = {"sim": "simulated time", "wall": "wall time"}
+
+#: First synthetic pid handed to merged worker processes (one pid per
+#: worker process × time domain, allocated in first-seen order).
+_WORKER_PID_BASE = 10
 
 #: The span names making up the paper's phase decomposition.
 TASK_PHASES = ("task.queue_wait", "task.download", "task.compute", "task.upload")
@@ -45,14 +62,19 @@ def _category(name: str) -> str:
 
 
 def chrome_trace(
-    tracer: Tracer, metrics: "MetricsRegistry | None" = None
+    tracer: Tracer,
+    metrics: "MetricsRegistry | None" = None,
+    *,
+    timeline: "Timeline | None" = None,
+    workers: Iterable[WorkerCapture] = (),
 ) -> dict:
-    """Render a tracer (and optionally a registry) as a Chrome trace."""
+    """Render a tracer (plus registry / timeline / worker captures) as
+    one merged Chrome trace document."""
     events: list[dict] = []
-    tids: dict[tuple[str, str], int] = {}
+    tids: dict[tuple[int, str], int] = {}
 
-    def tid_for(domain: str, track: str) -> int:
-        key = (domain, track)
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
         tid = tids.get(key)
         if tid is None:
             tid = tids[key] = len(tids) + 1
@@ -60,12 +82,58 @@ def chrome_trace(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": _DOMAIN_PIDS.get(domain, 0),
+                    "pid": pid,
                     "tid": tid,
                     "args": {"name": track},
                 }
             )
         return tid
+
+    def emit_span(span, pid: int, track: str, extra_args: dict) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": tid_for(pid, track),
+                "args": {**span.args, **extra_args},
+            }
+        )
+
+    def emit_instant(instant, pid: int, track: str, extra_args: dict) -> None:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": _category(instant.name),
+                "ph": "i",
+                "s": "t",  # thread-scoped
+                "ts": instant.ts * 1e6,
+                "pid": pid,
+                "tid": tid_for(pid, track),
+                "args": {**instant.args, **extra_args},
+            }
+        )
+
+    def emit_counters(series_map: dict, pid: int) -> int:
+        emitted = 0
+        for series in sorted(series_map):
+            for ts, value in series_map[series]:
+                events.append(
+                    {
+                        "name": series,
+                        "cat": "timeline",
+                        "ph": "C",
+                        "ts": ts * 1e6,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+                emitted += 1
+        return emitted
 
     for domain, pid in sorted(_DOMAIN_PIDS.items()):
         events.append(
@@ -78,31 +146,74 @@ def chrome_trace(
             }
         )
     for span in tracer.spans:
-        events.append(
-            {
-                "name": span.name,
-                "cat": _category(span.name),
-                "ph": "X",
-                "ts": span.start * 1e6,
-                "dur": span.duration * 1e6,
-                "pid": _DOMAIN_PIDS.get(span.domain, 0),
-                "tid": tid_for(span.domain, span.track),
-                "args": dict(span.args),
-            }
-        )
+        emit_span(span, _DOMAIN_PIDS.get(span.domain, 0), span.track, {})
     for instant in tracer.instants:
-        events.append(
-            {
-                "name": instant.name,
-                "cat": _category(instant.name),
-                "ph": "i",
-                "s": "t",  # thread-scoped
-                "ts": instant.ts * 1e6,
-                "pid": _DOMAIN_PIDS.get(instant.domain, 0),
-                "tid": tid_for(instant.domain, instant.track),
-                "args": dict(instant.args),
-            }
+        emit_instant(
+            instant, _DOMAIN_PIDS.get(instant.domain, 0), instant.track, {}
         )
+    counter_events = 0
+    if timeline is not None:
+        counter_events += emit_counters(timeline.snapshot(), _DOMAIN_PIDS["sim"])
+
+    # -- merged worker processes ------------------------------------------
+    worker_pids: dict[tuple[int, str], int] = {}
+    next_pid = _WORKER_PID_BASE
+    worker_index: dict[int, dict] = {}
+
+    def worker_pid(os_pid: int, domain: str) -> int:
+        nonlocal next_pid
+        key = (os_pid, domain)
+        pid = worker_pids.get(key)
+        if pid is None:
+            pid = worker_pids[key] = next_pid
+            next_pid += 1
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        "name": f"worker {os_pid} "
+                        f"({_DOMAIN_NAMES.get(domain, domain)})"
+                    },
+                }
+            )
+            worker_index[os_pid]["pids"][domain] = pid
+        return pid
+
+    for capture in workers:
+        entry = worker_index.setdefault(
+            capture.os_pid,
+            {
+                "os_pid": capture.os_pid,
+                "pids": {},
+                "points": [],
+                "spans": 0,
+                "instants": 0,
+            },
+        )
+        if capture.label:
+            entry["points"].append(capture.label)
+        entry["spans"] += len(capture.spans)
+        entry["instants"] += len(capture.instants)
+        point_args = {"point": capture.label} if capture.label else {}
+        # Prefix tracks with the point label: points in one worker
+        # process each start at sim time zero, so sharing rows would
+        # stack unrelated spans on top of each other.
+        prefix = f"{capture.label} · " if capture.label else ""
+        for span in capture.spans:
+            pid = worker_pid(capture.os_pid, span.domain)
+            emit_span(span, pid, prefix + span.track, point_args)
+        for instant in capture.instants:
+            pid = worker_pid(capture.os_pid, instant.domain)
+            emit_instant(instant, pid, prefix + instant.track, point_args)
+        if capture.timeline:
+            pid = worker_pid(capture.os_pid, "sim")
+            counter_events += emit_counters(
+                {prefix + k: v for k, v in capture.timeline.items()}, pid
+            )
+
     document: dict = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -111,6 +222,12 @@ def chrome_trace(
             "label": tracer.label,
         },
     }
+    if worker_index:
+        document["otherData"]["workers"] = [
+            worker_index[os_pid] for os_pid in sorted(worker_index)
+        ]
+    if counter_events:
+        document["otherData"]["counter_events"] = counter_events
     if metrics is not None:
         document["otherData"]["metrics"] = metrics.to_dict()
     return document
@@ -121,12 +238,19 @@ def write_chrome_trace(
     obs: "Observability | Tracer",
     metrics: "MetricsRegistry | None" = None,
 ) -> dict:
-    """Write the trace JSON to ``path``; returns the document."""
+    """Write the trace JSON to ``path``; returns the document.
+
+    Passing a full :class:`Observability` bundle exports its timeline
+    and any adopted worker captures alongside the parent tracer.
+    """
+    timeline: "Timeline | None" = None
+    workers: Iterable[WorkerCapture] = ()
     if isinstance(obs, Observability):
         tracer, metrics = obs.tracer, obs.metrics
+        timeline, workers = obs.timeline, obs.workers
     else:
         tracer = obs
-    document = chrome_trace(tracer, metrics)
+    document = chrome_trace(tracer, metrics, timeline=timeline, workers=workers)
     Path(path).write_text(
         json.dumps(document, indent=1, sort_keys=True) + "\n",
         encoding="utf-8",
@@ -167,6 +291,12 @@ def validate_chrome_trace(data: object) -> list[str]:
                 errors.append(f"{where}: complete event missing numeric 'dur'")
             elif dur < 0:
                 errors.append(f"{where}: negative duration {dur}")
+        if phase == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                errors.append(
+                    f"{where}: counter event missing numeric args['value']"
+                )
     return errors
 
 
@@ -178,20 +308,61 @@ def _span_events(data: dict) -> list[dict]:
     ]
 
 
-def phase_fractions(data: dict) -> dict[str, float]:
-    """Fractions of total per-task time per phase, from an exported
-    trace — the paper's ``phase_breakdown`` view, reconstructed from
-    ``task.download`` / ``task.compute`` / ``task.upload`` spans."""
+def _phase_totals(events: Iterable[dict]) -> dict[str, float]:
     totals = {"download": 0.0, "compute": 0.0, "upload": 0.0}
-    for event in _span_events(data):
+    for event in events:
         name = event.get("name", "")
         phase = name.removeprefix("task.")
         if name.startswith("task.") and phase in totals:
             totals[phase] += float(event.get("dur", 0.0))
+    return totals
+
+
+def phase_fractions(data: dict) -> dict[str, float]:
+    """Fractions of total per-task time per phase, from an exported
+    trace — the paper's ``phase_breakdown`` view, reconstructed from
+    ``task.download`` / ``task.compute`` / ``task.upload`` spans.
+
+    Returns ``{}`` when the trace has no task phase spans (empty or
+    metadata-only traces summarize cleanly instead of dividing by
+    zero).
+    """
+    totals = _phase_totals(_span_events(data))
     grand = sum(totals.values())
     if grand <= 0:
-        raise ValueError("trace has no task phase spans")
+        return {}
     return {phase: value / grand for phase, value in totals.items()}
+
+
+def phase_fractions_by_point(data: dict) -> dict[str, dict[str, float]]:
+    """Per-sweep-point phase fractions from a merged trace.
+
+    Merged worker spans carry ``args["point"]`` (the sweep point
+    label); spans without one group under ``""`` (the parent / an
+    inline run).  Points whose task spans sum to zero are omitted.
+    """
+    by_point: dict[str, list[dict]] = {}
+    for event in _span_events(data):
+        point = str(event.get("args", {}).get("point", ""))
+        by_point.setdefault(point, []).append(event)
+    out: dict[str, dict[str, float]] = {}
+    for point, events in sorted(by_point.items()):
+        totals = _phase_totals(events)
+        grand = sum(totals.values())
+        if grand <= 0:
+            continue
+        out[point] = {phase: value / grand for phase, value in totals.items()}
+    return out
+
+
+def _format_metric(value: object) -> str:
+    if isinstance(value, dict):  # histogram summary
+        parts = [f"count={value.get('count')}", f"mean={value.get('mean')}"]
+        for q in ("p50", "p95", "p99"):
+            if value.get(q) is not None:
+                parts.append(f"{q}={value[q]:.6g}")
+        return "{" + ", ".join(parts) + "}"
+    return str(value)
 
 
 def summarize_chrome_trace(data: dict) -> str:
@@ -203,27 +374,32 @@ def summarize_chrome_trace(data: dict) -> str:
         count, seconds = totals.get(name, (0, 0.0))
         totals[name] = (count + 1, seconds + float(event.get("dur", 0.0)) / 1e6)
     lines = []
-    label = data.get("otherData", {}).get("label")
+    other = data.get("otherData", {}) if isinstance(data, dict) else {}
+    label = other.get("label")
     title = f"trace summary ({label})" if label else "trace summary"
     lines.append(title)
     lines.append(f"  span events: {len(spans)}")
+    workers = other.get("workers") or []
+    if workers:
+        pids = ", ".join(str(w.get("os_pid")) for w in workers)
+        lines.append(f"  worker processes: {len(workers)} (os pids: {pids})")
+    counter_events = other.get("counter_events")
+    if counter_events:
+        lines.append(f"  timeline counter events: {counter_events}")
     name_width = max((len(name) for name in totals), default=4)
     for name in sorted(totals):
         count, seconds = totals[name]
         lines.append(
             f"  {name.ljust(name_width)}  n={count:<6d} total={seconds:,.3f}s"
         )
-    try:
-        fractions = phase_fractions(data)
-    except ValueError:
-        fractions = None
-    if fractions is not None:
+    fractions = phase_fractions(data)
+    if fractions:
         lines.append("phase breakdown (fractions of per-task time):")
         for phase, fraction in fractions.items():
             lines.append(f"  {phase:<8s} {100 * fraction:6.2f}%")
-    metrics = data.get("otherData", {}).get("metrics") or {}
+    metrics = other.get("metrics") or {}
     if metrics:
         lines.append("metrics:")
         for name in sorted(metrics):
-            lines.append(f"  {name} = {metrics[name]}")
+            lines.append(f"  {name} = {_format_metric(metrics[name])}")
     return "\n".join(lines)

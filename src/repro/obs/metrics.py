@@ -16,6 +16,7 @@ metrics.counter("x")``) and call ``inc``/``set`` on it.
 
 from __future__ import annotations
 
+import math
 import threading
 
 __all__ = [
@@ -58,16 +59,44 @@ class Gauge:
         self.value -= amount
 
 
-class Histogram:
-    """Streaming summary: count / total / min / max (no samples kept)."""
+# Histogram percentile buckets grow geometrically by ~4% per bucket, so
+# any reported quantile is within ±2% of a true sample value while the
+# histogram itself stays O(1) per observe and O(distinct buckets) memory.
+_BUCKET_GROWTH = 1.04
+_LOG_GROWTH = math.log(_BUCKET_GROWTH)
 
-    __slots__ = ("count", "total", "min", "max")
+
+def _bucket_key(value: float) -> tuple[int, int]:
+    """Sortable bucket key: (sign, magnitude index); zero is (0, 0)."""
+    if value == 0.0:
+        return (0, 0)
+    magnitude = int(math.floor(math.log(abs(value)) / _LOG_GROWTH))
+    if value > 0.0:
+        return (1, magnitude)
+    return (-1, -magnitude)
+
+
+def _bucket_midpoint(key: tuple[int, int]) -> float:
+    """Geometric midpoint of a bucket, the quantile representative."""
+    sign, magnitude = key
+    if sign == 0:
+        return 0.0
+    return sign * math.exp((-magnitude if sign < 0 else magnitude + 0.5) * _LOG_GROWTH)
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max plus log-bucketed
+    percentiles (p50/p95/p99 within ~2% relative error; no samples kept).
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: dict[tuple[int, int], int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -77,10 +106,60 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        key = _bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile from the log buckets (None if empty)."""
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        seen = 0
+        for key in sorted(self.buckets):
+            seen += self.buckets[key]
+            if seen >= rank:
+                return min(self.max, max(self.min, _bucket_midpoint(key)))
+        return self.max
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a worker) into this one."""
+        self.count += int(snapshot.get("count", 0))
+        self.total += float(snapshot.get("total", 0.0))
+        other_min = snapshot.get("min")
+        other_max = snapshot.get("max")
+        if other_min is not None and other_min < self.min:
+            self.min = float(other_min)
+        if other_max is not None and other_max > self.max:
+            self.max = float(other_max)
+        for key, n in snapshot.get("buckets", {}).items():
+            key = tuple(key)
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
+    def snapshot(self) -> dict:
+        """Picklable plain-data state, consumable by :meth:`merge`."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": dict(self.buckets),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
 
 
 class MetricsRegistry:
@@ -122,15 +201,31 @@ class MetricsRegistry:
             for name in sorted(self._gauges):
                 out[name] = self._gauges[name].value
             for name in sorted(self._histograms):
-                hist = self._histograms[name]
-                out[name] = {
-                    "count": hist.count,
-                    "total": hist.total,
-                    "min": hist.min if hist.count else None,
-                    "max": hist.max if hist.count else None,
-                    "mean": hist.mean,
-                }
+                out[name] = self._histograms[name].to_dict()
         return out
+
+    def snapshot(self) -> dict:
+        """Picklable plain-data state for shipping across processes."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.snapshot() for n, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a sweep worker) into this
+        registry: counters add, gauges take the incoming value (last
+        writer wins), histograms merge bucket-wise.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge(state)
 
     def __len__(self) -> int:
         with self._lock:
@@ -190,6 +285,12 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def to_dict(self) -> dict:
         return {}
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
 
 
 NULL_METRICS = NullMetricsRegistry()

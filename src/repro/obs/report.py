@@ -1,0 +1,536 @@
+"""`repro report`: self-contained HTML reports + bench delta tables.
+
+Two consumers share this module:
+
+* :func:`render_report` turns a (possibly multi-process) Chrome trace,
+  an optional :class:`~repro.core.task.RunResult` JSON export, and the
+  committed ``BENCH_*.json`` history into one **self-contained** HTML
+  file — inline CSS and inline SVG only, no scripts, no external
+  resources, so the artifact renders offline and archives losslessly.
+  Sections: phase-fraction bars, a per-worker gantt reconstructed from
+  the merged trace's ``task.*`` spans, pool/cache/queue stats from the
+  embedded metrics, and sparklines for the timeline counter series.
+
+* :func:`bench_compare` diffs two bench documents (kernel events/s are
+  better *higher*; sweep / workload wall times are better *lower*) and
+  flags deltas beyond a tolerance — ``repro bench --compare OLD NEW``
+  prints it via :func:`format_bench_compare`, and the HTML report
+  renders the same rows with regressions highlighted.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.report import format_table
+from repro.obs.export import (
+    phase_fractions,
+    phase_fractions_by_point,
+    summarize_chrome_trace,
+)
+from repro.obs.timeline import series_from_trace
+
+__all__ = [
+    "bench_compare",
+    "format_bench_compare",
+    "render_report",
+    "write_report",
+]
+
+#: Phase palette (colorblind-safe): download / compute / upload / wait.
+_PHASE_COLORS = {
+    "download": "#4e79a7",
+    "compute": "#59a14f",
+    "upload": "#e15759",
+    "queue_wait": "#bab0ac",
+}
+
+#: Cap on gantt rows so a 256-worker trace stays a readable report.
+_MAX_GANTT_TRACKS = 40
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 60em; color: #1a1a1a; padding: 0 1em; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #ddd; }
+h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.8em 0; }
+th, td { border: 1px solid #ddd; padding: 0.25em 0.6em; text-align: left; }
+th { background: #f4f4f4; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.regression td { background: #fdecea; }
+tr.improved td { background: #edf7ed; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.legend i { display: inline-block; width: 0.9em; height: 0.9em;
+            margin-right: 0.35em; vertical-align: -0.1em; }
+.note { color: #666; font-size: 0.9em; }
+pre { background: #f7f7f7; padding: 0.8em; overflow-x: auto; }
+"""
+
+
+def _esc(value: object) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# bench comparison
+# ---------------------------------------------------------------------------
+
+#: (section, field, direction) triples diffed by bench_compare.
+_LOWER_BETTER_SWEEP = ("serial_s", "parallel_s", "cache_cold_s", "cache_warm_s")
+_LOWER_BETTER_WORKLOAD = ("build_s", "attach_s")
+
+
+def _compare_row(
+    metric: str, old: float, new: float, higher_better: bool, tolerance: float
+) -> dict:
+    delta = (new - old) / old if old else 0.0
+    status = "ok"
+    worse = delta < -tolerance if higher_better else delta > tolerance
+    better = delta > tolerance if higher_better else delta < -tolerance
+    if worse:
+        status = "regression"
+    elif better:
+        status = "improved"
+    return {
+        "metric": metric,
+        "old": old,
+        "new": new,
+        "delta": delta,
+        "higher_better": higher_better,
+        "status": status,
+    }
+
+
+def bench_compare(old: dict, new: dict, tolerance: float = 0.10) -> list[dict]:
+    """Diff two bench documents into comparison rows.
+
+    Only metrics present in **both** documents are compared (the schema
+    grew fields between BENCH generations).  Kernel throughput is
+    better higher; sweep and workload wall times are better lower.
+    ``status`` is ``"regression"`` / ``"improved"`` when the relative
+    delta exceeds ``tolerance``, else ``"ok"``.
+    """
+    rows: list[dict] = []
+    old_kernel = old.get("kernel", {})
+    for shape, entry in sorted(new.get("kernel", {}).items()):
+        base = old_kernel.get(shape)
+        if not base:
+            continue
+        rows.append(
+            _compare_row(
+                f"kernel.{shape}.events_per_s",
+                float(base["events_per_s"]),
+                float(entry["events_per_s"]),
+                higher_better=True,
+                tolerance=tolerance,
+            )
+        )
+    old_sweeps = old.get("sweeps", {})
+    for app, entry in sorted(new.get("sweeps", {}).items()):
+        base = old_sweeps.get(app)
+        if not base:
+            continue
+        for field in _LOWER_BETTER_SWEEP:
+            if field in base and field in entry:
+                rows.append(
+                    _compare_row(
+                        f"sweep.{app}.{field}",
+                        float(base[field]),
+                        float(entry[field]),
+                        higher_better=False,
+                        tolerance=tolerance,
+                    )
+                )
+    old_workloads = old.get("workloads", {})
+    for app, entry in sorted(new.get("workloads", {}).items()):
+        base = old_workloads.get(app)
+        if not base:
+            continue
+        for field in _LOWER_BETTER_WORKLOAD:
+            if field in base and field in entry:
+                rows.append(
+                    _compare_row(
+                        f"workload.{app}.{field}",
+                        float(base[field]),
+                        float(entry[field]),
+                        higher_better=False,
+                        tolerance=tolerance,
+                    )
+                )
+    return rows
+
+
+def format_bench_compare(
+    rows: Sequence[dict], old_name: str = "old", new_name: str = "new"
+) -> str:
+    """Plain-text delta table; regressions flagged in the last column."""
+    flags = {"regression": "REGRESSION", "improved": "improved", "ok": ""}
+    table_rows = [
+        [
+            row["metric"],
+            _fmt(row["old"]),
+            _fmt(row["new"]),
+            f"{100 * row['delta']:+.1f}%",
+            flags[row["status"]],
+        ]
+        for row in rows
+    ]
+    table = format_table(
+        ["metric", old_name, new_name, "delta", ""],
+        table_rows,
+        title=f"bench comparison: {old_name} -> {new_name}",
+    )
+    n_reg = sum(1 for r in rows if r["status"] == "regression")
+    tail = (
+        f"{n_reg} regression(s) flagged"
+        if n_reg
+        else "no regressions beyond tolerance"
+    )
+    return f"{table}\n{tail}"
+
+
+# ---------------------------------------------------------------------------
+# HTML building blocks
+# ---------------------------------------------------------------------------
+
+
+def _phase_bar(fractions: dict[str, float], width: int = 480) -> str:
+    """One horizontal stacked bar as inline SVG."""
+    parts = []
+    x = 0.0
+    for phase in ("download", "compute", "upload"):
+        frac = fractions.get(phase, 0.0)
+        w = frac * width
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{w:.1f}" height="18" '
+            f'fill="{_PHASE_COLORS[phase]}"><title>{_esc(phase)}: '
+            f"{100 * frac:.1f}%</title></rect>"
+        )
+        x += w
+    return (
+        f'<svg width="{width}" height="18" role="img" '
+        f'aria-label="phase fractions">{"".join(parts)}</svg>'
+    )
+
+
+def _phase_legend() -> str:
+    spans = "".join(
+        f'<span><i style="background:{color}"></i>{_esc(phase)}</span>'
+        for phase, color in _PHASE_COLORS.items()
+        if phase != "queue_wait"
+    )
+    return f'<div class="legend">{spans}</div>'
+
+
+def _track_label(event: dict, names: dict) -> str:
+    pid = event.get("pid", 0)
+    tid = event.get("tid", 0)
+    process = names.get(("process", pid, 0), f"pid {pid}")
+    thread = names.get(("thread", pid, tid), f"tid {tid}")
+    return f"{process} / {thread}"
+
+
+def _gantt_svg(trace: dict) -> str:
+    """Per-worker gantt from the merged trace's ``task.*`` spans.
+
+    Each (pid, tid) pair is one row; rows are normalized to their own
+    process's time origin (merged worker points each start at sim time
+    zero) and scaled to the longest row.
+    """
+    names: dict = {}
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") != "M":
+            continue
+        kind = (
+            "process" if event.get("name") == "process_name" else "thread"
+        )
+        key = (kind, event.get("pid", 0), event.get("tid", 0) if kind == "thread" else 0)
+        names[key] = event.get("args", {}).get("name", "")
+    spans_by_track: dict[tuple[int, int], list[dict]] = {}
+    for event in trace.get("traceEvents", ()):
+        if event.get("ph") != "X" or not str(event.get("name", "")).startswith(
+            "task."
+        ):
+            continue
+        key = (event.get("pid", 0), event.get("tid", 0))
+        spans_by_track.setdefault(key, []).append(event)
+    if not spans_by_track:
+        return '<p class="note">no task spans in this trace.</p>'
+    origin_by_pid: dict[int, float] = {}
+    for (pid, _tid), events in spans_by_track.items():
+        lo = min(float(e["ts"]) for e in events)
+        origin_by_pid[pid] = min(origin_by_pid.get(pid, lo), lo)
+    extent = 0.0
+    for (pid, _tid), events in spans_by_track.items():
+        hi = max(
+            float(e["ts"]) + float(e.get("dur", 0.0)) - origin_by_pid[pid]
+            for e in events
+        )
+        extent = max(extent, hi)
+    extent = extent or 1.0
+    tracks = sorted(spans_by_track)
+    dropped = 0
+    if len(tracks) > _MAX_GANTT_TRACKS:
+        dropped = len(tracks) - _MAX_GANTT_TRACKS
+        tracks = tracks[:_MAX_GANTT_TRACKS]
+    row_h, gap, label_w, plot_w = 16, 4, 260, 520
+    height = len(tracks) * (row_h + gap) + gap
+    parts = [
+        f'<svg width="{label_w + plot_w + 10}" height="{height}" '
+        f'role="img" aria-label="per-worker gantt">'
+    ]
+    for row, key in enumerate(tracks):
+        pid, _tid = key
+        y = gap + row * (row_h + gap)
+        sample = spans_by_track[key][0]
+        label = _track_label(sample, names)
+        parts.append(
+            f'<text x="{label_w - 6}" y="{y + row_h - 4}" '
+            f'text-anchor="end" font-size="11">{_esc(label[:44])}</text>'
+        )
+        for event in spans_by_track[key]:
+            phase = str(event["name"]).removeprefix("task.")
+            color = _PHASE_COLORS.get(phase, "#9b9b9b")
+            x0 = (float(event["ts"]) - origin_by_pid[pid]) / extent * plot_w
+            w = max(float(event.get("dur", 0.0)) / extent * plot_w, 0.5)
+            dur_s = float(event.get("dur", 0.0)) / 1e6
+            parts.append(
+                f'<rect x="{label_w + x0:.2f}" y="{y}" width="{w:.2f}" '
+                f'height="{row_h}" fill="{color}">'
+                f"<title>{_esc(event['name'])}: {dur_s:.3f}s</title></rect>"
+            )
+    parts.append("</svg>")
+    if dropped:
+        parts.append(
+            f'<p class="note">{dropped} more track(s) not shown '
+            f"(first {_MAX_GANTT_TRACKS} rendered).</p>"
+        )
+    return "".join(parts)
+
+
+def _sparkline(samples: Sequence[tuple[float, float]], width=360, height=48) -> str:
+    xs = [s[0] for s in samples]
+    ys = [s[1] for s in samples]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    points = " ".join(
+        f"{(x - x_lo) / x_span * (width - 2) + 1:.1f},"
+        f"{height - 1 - (y - y_lo) / y_span * (height - 2):.1f}"
+        for x, y in samples
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polyline points="{points}" fill="none" stroke="#4e79a7" '
+        f'stroke-width="1.5"/></svg> '
+        f'<span class="note">min {_fmt(y_lo)} · max {_fmt(y_hi)}</span>'
+    )
+
+
+def _metrics_table(metrics: dict) -> str:
+    rows = []
+    for name in sorted(metrics):
+        value = metrics[name]
+        if isinstance(value, dict):
+            shown = ", ".join(
+                f"{k}={_fmt(value[k])}"
+                for k in ("count", "mean", "p50", "p95", "p99")
+                if value.get(k) is not None
+            )
+        else:
+            shown = _fmt(value)
+        rows.append(
+            f"<tr><td>{_esc(name)}</td><td class='num'>{_esc(shown)}</td></tr>"
+        )
+    return (
+        "<table><tr><th>metric</th><th>value</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+def _bench_history_html(
+    bench_history: Sequence[tuple[str, dict]], tolerance: float
+) -> str:
+    parts = []
+    shapes: list[str] = []
+    for _name, doc in bench_history:
+        for shape in doc.get("kernel", {}):
+            if shape not in shapes:
+                shapes.append(shape)
+    header = "".join(f"<th>{_esc(s)} ev/s</th>" for s in shapes)
+    rows = []
+    for name, doc in bench_history:
+        cells = []
+        for shape in shapes:
+            entry = doc.get("kernel", {}).get(shape)
+            cells.append(
+                f"<td class='num'>{_fmt(float(entry['events_per_s'])) if entry else '—'}</td>"
+            )
+        rows.append(f"<tr><td>{_esc(name)}</td>{''.join(cells)}</tr>")
+    parts.append(
+        f"<table><tr><th>bench</th>{header}</tr>{''.join(rows)}</table>"
+    )
+    if len(bench_history) >= 2:
+        (old_name, old_doc), (new_name, new_doc) = bench_history[-2:]
+        compare = bench_compare(old_doc, new_doc, tolerance=tolerance)
+        rows = []
+        for row in compare:
+            cls = row["status"] if row["status"] != "ok" else ""
+            flag = {"regression": "REGRESSION", "improved": "improved"}.get(
+                row["status"], ""
+            )
+            rows.append(
+                f"<tr class='{cls}'><td>{_esc(row['metric'])}</td>"
+                f"<td class='num'>{_fmt(row['old'])}</td>"
+                f"<td class='num'>{_fmt(row['new'])}</td>"
+                f"<td class='num'>{100 * row['delta']:+.1f}%</td>"
+                f"<td>{flag}</td></tr>"
+            )
+        parts.append(
+            f"<h3>delta: {_esc(old_name)} → {_esc(new_name)} "
+            f"(tolerance ±{100 * tolerance:.0f}%)</h3>"
+            "<table><tr><th>metric</th><th>old</th><th>new</th>"
+            f"<th>delta</th><th></th></tr>{''.join(rows)}</table>"
+        )
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# the report
+# ---------------------------------------------------------------------------
+
+
+def render_report(
+    trace: dict,
+    *,
+    run: "dict | None" = None,
+    bench_history: Iterable[tuple[str, dict]] = (),
+    title: str = "repro report",
+    tolerance: float = 0.10,
+) -> str:
+    """Render one self-contained HTML report (returns the HTML string)."""
+    bench_history = list(bench_history)
+    other = trace.get("otherData", {})
+    sections: list[str] = []
+
+    # -- overview ----------------------------------------------------------
+    overview = [f"<p>trace label: <strong>{_esc(other.get('label') or '—')}</strong>"]
+    workers = other.get("workers") or []
+    if workers:
+        pids = ", ".join(str(w.get("os_pid")) for w in workers)
+        overview.append(
+            f" · {len(workers)} worker process(es) merged (os pids: {pids})"
+        )
+    overview.append("</p>")
+    sections.append("<h2>Overview</h2>" + "".join(overview))
+    sections.append(
+        "<details><summary>text summary</summary><pre>"
+        + _esc(summarize_chrome_trace(trace))
+        + "</pre></details>"
+    )
+
+    # -- phase fractions ---------------------------------------------------
+    fractions = phase_fractions(trace)
+    if fractions:
+        rows = [
+            "<h2>Phase fractions</h2>",
+            _phase_legend(),
+            "<p>overall</p>",
+            _phase_bar(fractions),
+        ]
+        per_point = phase_fractions_by_point(trace)
+        for point, point_fracs in per_point.items():
+            if not point:
+                continue
+            rows.append(f"<p>{_esc(point)}</p>")
+            rows.append(_phase_bar(point_fracs))
+        sections.append("".join(rows))
+
+    # -- gantt -------------------------------------------------------------
+    sections.append("<h2>Per-worker gantt</h2>" + _gantt_svg(trace))
+
+    # -- timeline sparklines ----------------------------------------------
+    series = series_from_trace(trace)
+    if series:
+        rows = ["<h2>Timeline counters</h2>"]
+        for name in sorted(series):
+            samples = series[name]
+            if not samples:
+                continue
+            rows.append(f"<p>{_esc(name)} ({len(samples)} samples)</p>")
+            rows.append(_sparkline(samples))
+        sections.append("".join(rows))
+
+    # -- run result --------------------------------------------------------
+    if run:
+        rows = ["<h2>Run result</h2>"]
+        extras = run.get("extras") or {}
+        summary_rows = []
+        for key in ("backend", "makespan_seconds", "n_tasks"):
+            if key in run:
+                summary_rows.append(
+                    f"<tr><td>{_esc(key)}</td>"
+                    f"<td class='num'>{_fmt(run[key])}</td></tr>"
+                )
+        for key in sorted(extras):
+            value = extras[key]
+            if isinstance(value, (int, float)):
+                summary_rows.append(
+                    f"<tr><td>extras.{_esc(key)}</td>"
+                    f"<td class='num'>{_fmt(value)}</td></tr>"
+                )
+        rows.append(
+            "<table><tr><th>field</th><th>value</th></tr>"
+            + "".join(summary_rows)
+            + "</table>"
+        )
+        sections.append("".join(rows))
+
+    # -- metrics -----------------------------------------------------------
+    metrics = other.get("metrics") or {}
+    if metrics:
+        sections.append("<h2>Pool, cache &amp; queue metrics</h2>")
+        sections.append(_metrics_table(metrics))
+
+    # -- bench history -----------------------------------------------------
+    if bench_history:
+        sections.append("<h2>Bench history</h2>")
+        sections.append(_bench_history_html(bench_history, tolerance))
+
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>\n{body}\n</body></html>\n"
+    )
+
+
+def write_report(
+    path: "str | Path",
+    trace: dict,
+    *,
+    run: "dict | None" = None,
+    bench_history: Iterable[tuple[str, dict]] = (),
+    title: str = "repro report",
+    tolerance: float = 0.10,
+) -> str:
+    """Render and write the report; returns the HTML string."""
+    html = render_report(
+        trace,
+        run=run,
+        bench_history=bench_history,
+        title=title,
+        tolerance=tolerance,
+    )
+    Path(path).write_text(html, encoding="utf-8")
+    return html

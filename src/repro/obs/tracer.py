@@ -88,6 +88,14 @@ class _SpanHandle:
             **self._args,
         )
 
+    def open(self) -> "_SpanHandle":
+        """Explicit open for handles that must straddle a boundary a
+        with-block cannot (pair with ``close()`` in a ``finally``)."""
+        return self.__enter__()
+
+    def close(self) -> None:
+        self.__exit__(None, None, None)
+
 
 class Tracer:
     """Collects spans and instants; thread-safe appends.
@@ -161,6 +169,16 @@ class Tracer:
             self.instants.append(event)
 
     # -- views ------------------------------------------------------------
+    def snapshot(self) -> tuple[list[Span], list[Instant]]:
+        """Consistent copies of the recorded spans and instants.
+
+        Both record types are frozen plain-data dataclasses, so the
+        returned lists pickle cleanly — this is how sweep workers ship
+        their capture back to the parent process.
+        """
+        with self._lock:
+            return list(self.spans), list(self.instants)
+
     def totals(self, prefix: str = "") -> dict[str, float]:
         """Total seconds per span name (optionally name-prefix filtered)."""
         out: dict[str, float] = {}
@@ -183,6 +201,12 @@ class _NullSpanHandle:
         return self
 
     def __exit__(self, exc_type, exc, tb):
+        return None
+
+    def open(self):
+        return self
+
+    def close(self) -> None:
         return None
 
 
@@ -208,6 +232,9 @@ class NullTracer:
 
     def instant(self, name, *, track="main", ts=None, domain="sim", **args):
         pass
+
+    def snapshot(self) -> tuple[list[Span], list[Instant]]:
+        return [], []
 
     def totals(self, prefix: str = "") -> dict[str, float]:
         return {}

@@ -33,7 +33,7 @@ __all__ = [
 #: whenever the simulator's observable behaviour changes (perf-model
 #: semantics, billing rules, scheduling policies) so previously cached
 #: results miss instead of silently serving stale data.
-CACHE_SALT = "repro-sweep-v2"  # v2: FaultPlan() fault-free + elastic billing
+CACHE_SALT = "repro-sweep-v3"  # v3: PointResult extras carry phase_*_s totals
 
 
 def canonicalize(value: Any) -> Any:

@@ -31,6 +31,7 @@ __all__ = [
     "PointSpec",
     "point_for",
     "run_point",
+    "run_point_captured",
 ]
 
 
@@ -199,6 +200,19 @@ def _measure(backend, app: Application, tasks: list[TaskSpec], label: str):
     result = backend.run(app, tasks)
     t1 = backend.estimate_sequential_time(app, tasks)
     billing = result.billing
+    extras = {
+        k: float(v)
+        for k, v in sorted((result.extras or {}).items())
+        if isinstance(v, (int, float))
+    }
+    # Absolute per-phase seconds from the TaskRecords.  Records are
+    # dropped from the cached plain-data result, so this is the only
+    # place phase totals survive the process/cache boundary — merged
+    # traces are checked against these (phase-agreement invariant).
+    records = result.records or []
+    extras["phase_download_s"] = float(sum(r.download_time for r in records))
+    extras["phase_compute_s"] = float(sum(r.compute_time for r in records))
+    extras["phase_upload_s"] = float(sum(r.upload_time for r in records))
     return PointResult(
         label=label,
         backend=backend.name,
@@ -210,11 +224,7 @@ def _measure(backend, app: Application, tasks: list[TaskSpec], label: str):
         compute_cost=billing.compute_cost if billing else 0.0,
         amortized_cost=billing.total_amortized_cost if billing else 0.0,
         total_cost=billing.total_cost if billing else 0.0,
-        extras={
-            k: float(v)
-            for k, v in sorted((result.extras or {}).items())
-            if isinstance(v, (int, float))
-        },
+        extras=extras,
     )
 
 
@@ -223,6 +233,21 @@ def run_point(spec: PointSpec) -> PointResult:
     return _measure(
         spec.build_backend(), spec.app.build(), list(spec.tasks), spec.label
     )
+
+
+def run_point_captured(spec: PointSpec) -> "tuple[PointResult, dict]":
+    """Execute one point under a fresh, private observability bundle.
+
+    Each point gets its own tracer/registry/timeline (points in one
+    worker process must not share a sim-time axis), and the capture is
+    returned as a picklable payload for the parent to adopt.
+    """
+    from repro.obs.context import Observability, observe, worker_payload
+
+    obs = Observability.make(label=spec.label)
+    with observe(obs):
+        result = run_point(spec)
+    return result, worker_payload(obs, label=spec.label)
 
 
 def run_inline(point: InlinePoint) -> PointResult:

@@ -26,7 +26,12 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Sequence
 
 from repro.obs.context import current as _current_obs
-from repro.sweep.points import PointResult, PointSpec, run_point
+from repro.sweep.points import (
+    PointResult,
+    PointSpec,
+    run_point,
+    run_point_captured,
+)
 
 __all__ = ["SweepPool", "shared_pool", "shutdown_shared_pool"]
 
@@ -48,9 +53,26 @@ def _warm_worker() -> None:
     import repro.workloads.pubchem  # noqa: F401
 
 
-def _run_chunk(specs: "list[PointSpec]") -> "list[PointResult]":
-    """Worker-side entry point: execute one chunk of specs in order."""
-    return [run_point(spec) for spec in specs]
+def _run_chunk(specs: "list[PointSpec]", capture: bool = False):
+    """Worker-side entry point: execute one chunk of specs in order.
+
+    With ``capture=False`` (the default) returns a plain list of
+    :class:`PointResult`.  With ``capture=True`` — set when the parent's
+    observability bundle is live — each point runs under its own fresh
+    worker-side bundle (see :func:`repro.sweep.points.
+    run_point_captured`) and the return value is ``(results,
+    payloads)``, where each payload is the picklable capture the parent
+    merges into its trace.
+    """
+    if not capture:
+        return [run_point(spec) for spec in specs]
+    results: "list[PointResult]" = []
+    payloads: list[dict] = []
+    for spec in specs:
+        result, payload = run_point_captured(spec)
+        results.append(result)
+        payloads.append(payload)
+    return results, payloads
 
 
 class SweepPool:
@@ -105,20 +127,26 @@ class SweepPool:
         self.close()
 
     # -- dispatch ---------------------------------------------------------
-    def submit_chunk(self, specs: Sequence[PointSpec]) -> "Future":
+    def submit_chunk(
+        self, specs: Sequence[PointSpec], capture: bool = False
+    ) -> "Future":
         """Submit one chunk; the future resolves to a list of
-        :class:`PointResult` in the chunk's order."""
+        :class:`PointResult` in the chunk's order (or to
+        ``(results, payloads)`` when ``capture`` is set — see
+        :func:`_run_chunk`)."""
         executor = self._ensure_executor()
         self.submissions += 1
         metrics = _current_obs().metrics
         metrics.counter("sweep.pool.chunks").inc()
         metrics.counter("sweep.pool.chunk_points").inc(len(specs))
         try:
-            return executor.submit(_run_chunk, list(specs))
+            return executor.submit(_run_chunk, list(specs), capture)
         except RuntimeError:
             # A broken/shutdown executor: recycle once and retry.
             self.close()
-            return self._ensure_executor().submit(_run_chunk, list(specs))
+            return self._ensure_executor().submit(
+                _run_chunk, list(specs), capture
+            )
 
     def stats(self) -> "dict[str, int]":
         return {

@@ -11,6 +11,10 @@ through the persistent :class:`~repro.sweep.pool.SweepPool` in
 pickle instead of one submission per point — so repeated ``run_points``
 calls reuse warm workers instead of respawning a pool every time.
 Inline points always run in the parent process and are never cached.
+When the ambient observability bundle is live, chunks are submitted
+with worker-side capture: each worker installs a private tracer per
+point and the parent adopts the shipped spans/metrics, so a traced
+``--jobs N`` sweep exports one merged multi-process Chrome trace.
 
 Sanitized runs (``REPRO_SANITIZE`` with a DES token) bypass the cache
 *and* the worker pool: they exist to observe the simulation in-process,
@@ -141,7 +145,9 @@ def run_points(
     sanitizing = _sanitizing()
     use_cache = cache is not None and not sanitizing
     total = len(points)
-    metrics = _current_obs().metrics
+    obs = _current_obs()
+    metrics = obs.metrics
+    tracer = obs.tracer
     m_points = metrics.counter("sweep.points_run")
 
     def notify(index: int, label: str, status: str) -> None:
@@ -156,6 +162,15 @@ def run_points(
                 hit = cache.get(point)
                 if hit is not None:
                     results[index] = hit
+                    # Annotate the hit on the parent's own track: the
+                    # point never reaches a worker, so this instant is
+                    # its only footprint in a merged trace.
+                    tracer.instant(
+                        "sweep.cache_hit",
+                        track="sweep",
+                        label=point.label,
+                        index=index,
+                    )
                     notify(index, point.label, "cache-hit")
                     continue
             pending.append((index, point))
@@ -182,16 +197,31 @@ def run_points(
         pool = shared_pool(jobs)
     chunks = _chunk_pending(pending, min(jobs, len(pending)))
     metrics.counter("sweep.pool.runs").inc()
+    # When the parent bundle is live, ask workers to capture their own
+    # spans/metrics per point and ship them back with the results.
+    capture = obs.enabled
     futures = []
     for chunk in chunks:
-        futures.append(pool.submit_chunk([spec for _, spec in chunk]))
+        futures.append(
+            pool.submit_chunk([spec for _, spec in chunk], capture=capture)
+        )
+        tracer.instant(
+            "sweep.chunk_dispatched", track="sweep", size=len(chunk)
+        )
         for index, spec in chunk:
             notify(index, spec.label, "start")
     # Collect in submission order: chunks are contiguous slices of the
     # input, so result ordering is decided by the input list, never by
     # completion order.
     for chunk, future in zip(chunks, futures):
-        for (index, spec), result in zip(chunk, future.result()):
+        value = future.result()
+        if capture:
+            chunk_results, payloads = value
+            for payload in payloads:
+                obs.adopt_worker(payload)
+        else:
+            chunk_results = value
+        for (index, spec), result in zip(chunk, chunk_results):
             results[index] = result
             m_points.inc()
             if use_cache:

@@ -1,0 +1,13 @@
+"""RPR104 trigger: a lambda hides inside a dict payload of a chunked
+pool submission (the worker-capture payload shape)."""
+
+from repro.sweep.pool import SweepPool
+
+
+def sweep(specs):
+    pool = SweepPool(4)
+    futures = [
+        pool.submit_chunk({"specs": chunk, "progress": lambda n: n})
+        for chunk in specs
+    ]
+    return [future.result() for future in futures]

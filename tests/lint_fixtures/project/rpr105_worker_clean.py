@@ -1,0 +1,32 @@
+"""RPR105 worker clean: worker-side spans close in a ``finally``.
+
+The capture pattern from ``repro.sweep.pool._run_chunk``: the span must
+straddle the per-point dispatch, so a with-block cannot hold it — an
+explicit ``close()`` in a ``finally`` guarantees the exception path.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def process(item):
+    return item
+
+
+def run_chunk(tracer, items):
+    span = tracer.span("chunk")
+    span.open()
+    try:
+        return [process(item) for item in items]
+    finally:
+        span.close()
+
+
+def run_chunk_with(tracer, items):
+    with tracer.span("chunk"):
+        return [process(item) for item in items]
+
+
+def sweep(tracer, chunks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_chunk, tracer, chunk) for chunk in chunks]
+    return [future.result() for future in futures]

@@ -1,0 +1,19 @@
+"""RPR105 worker noqa: the open worker span carries a justification."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def process(item):
+    return item
+
+
+def run_chunk(tracer, items):
+    span = tracer.span("chunk")  # repro: noqa[RPR105] closed by the pool teardown
+    span.open()
+    return [process(item) for item in items]
+
+
+def sweep(tracer, chunks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_chunk, tracer, chunk) for chunk in chunks]
+    return [future.result() for future in futures]

@@ -1,0 +1,21 @@
+"""RPR105 worker trigger: a pool worker opens a span it never closes."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def process(item):
+    return item
+
+
+def run_chunk(tracer, items):
+    span = tracer.span("chunk")
+    span.open()
+    out = [process(item) for item in items]
+    span.close()  # skipped when process() raises: the span is lost
+    return out
+
+
+def sweep(tracer, chunks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_chunk, tracer, chunk) for chunk in chunks]
+    return [future.result() for future in futures]

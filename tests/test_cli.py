@@ -185,6 +185,43 @@ class TestTrace:
         assert ": done" in text
 
 
+class TestSweep:
+    def test_sweep_prints_shape_table(self):
+        code, text = run_cli(
+            "sweep", "--app", "cap3", "--files", "8",
+            "--jobs", "1", "--no-cache",
+        )
+        assert code == 0
+        assert "cap3 sweep (8 files)" in text
+        for shape in ("L - 8 x 2", "XL - 4 x 4", "HCXL - 2 x 8",
+                      "HM4XL - 2 x 8"):
+            assert shape in text
+        assert "[4/4]" in text
+
+    def test_traced_parallel_sweep_merges_workers(self, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "sweep", "--app", "cap3", "--files", "8",
+            "--jobs", "2", "--no-cache", "--trace", str(path),
+        )
+        assert code == 0
+        assert "worker process(es) merged" in text
+        document = json.loads(path.read_text(encoding="utf-8"))
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(document) == []
+        workers = document["otherData"]["workers"]  # one entry per process
+        assert len({w["os_pid"] for w in workers}) >= 2
+        assert sum(len(w["points"]) for w in workers) == 4
+
+    def test_sweep_rejects_bad_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        code, text = run_cli("sweep", "--app", "cap3", "--files", "8")
+        assert code == 2
+
+
 class TestGendata:
     def test_writes_cap3_workload(self, tmp_path):
         code, text = run_cli(

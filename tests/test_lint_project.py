@@ -69,6 +69,29 @@ class TestFixtures:
         assert result.ok
         assert "RPR104" in {v.code for v in result.suppressed}
 
+    def test_rpr104_dict_payload_trigger(self):
+        result = lint_file(FIXTURES / "rpr104_payload_trigger.py")
+        assert not result.ok
+        assert {v.code for v in result.violations} == {"RPR104"}
+        (violation,) = result.violations
+        assert "lambda" in violation.message
+
+    def test_rpr105_worker_span_closed_in_finally_is_clean(self):
+        result = lint_file(FIXTURES / "rpr105_worker_clean.py")
+        assert result.ok, [v.format() for v in result.violations]
+
+    def test_rpr105_worker_span_without_finally_triggers(self):
+        result = lint_file(FIXTURES / "rpr105_worker_trigger.py")
+        assert not result.ok
+        assert {v.code for v in result.violations} == {"RPR105"}
+        (violation,) = result.violations
+        assert "run_chunk" in violation.message
+
+    def test_rpr105_worker_noqa_suppresses(self):
+        result = lint_file(FIXTURES / "rpr105_worker_noqa.py")
+        assert result.ok
+        assert "RPR105" in {v.code for v in result.suppressed}
+
     def test_rpr103_message_carries_the_call_chain(self):
         result = lint_file(FIXTURES / "rpr103_trigger.py")
         (violation,) = result.violations

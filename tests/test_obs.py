@@ -110,9 +110,17 @@ class TestMetrics:
         data = registry.to_dict()
         assert data["c"] == 3.0
         assert data["g"] == 3.5
-        assert data["h"] == {
-            "count": 3, "total": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
-        }
+        hist = data["h"]
+        assert hist["count"] == 3
+        assert hist["total"] == 6.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        assert hist["mean"] == 2.0
+        # Percentiles are bucket approximations: within 5% of the exact
+        # rank values, and always clamped inside [min, max].
+        assert abs(hist["p50"] - 2.0) <= 0.1
+        assert hist["p95"] == 3.0
+        assert hist["p99"] == 3.0
         assert len(registry) == 3
 
     def test_get_or_create_returns_same_instrument(self):
@@ -126,6 +134,7 @@ class TestMetrics:
         registry.histogram("h")
         assert registry.to_dict()["h"] == {
             "count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0,
+            "p50": None, "p95": None, "p99": None,
         }
 
     def test_null_registry_is_inert(self):

@@ -1,0 +1,147 @@
+"""Timeline sampling: unit behaviour, producer wiring, export round-trip."""
+
+import pytest
+
+from repro.cloud.failures import FaultPlan
+from repro.core.application import get_application
+from repro.core.backends import make_backend
+from repro.obs import (
+    NULL_TIMELINE,
+    Timeline,
+    chrome_trace,
+    observe,
+    series_from_trace,
+    validate_chrome_trace,
+)
+from repro.workloads.genome import cap3_task_specs
+
+
+class TestTimelineUnit:
+    def test_sample_and_series(self):
+        tl = Timeline()
+        tl.sample("queue.depth", 0.0, 0)
+        tl.sample("queue.depth", 1.5, 3)
+        tl.sample("workers.busy", 0.5, 2)
+        assert tl.series("queue.depth") == [(0.0, 0.0), (1.5, 3.0)]
+        assert tl.names() == ["queue.depth", "workers.busy"]
+        assert len(tl) == 3
+        assert tl.series("missing") == []
+
+    def test_snapshot_is_a_copy(self):
+        tl = Timeline()
+        tl.sample("s", 0.0, 1.0)
+        snap = tl.snapshot()
+        snap["s"].append((9.0, 9.0))
+        assert tl.series("s") == [(0.0, 1.0)]
+
+    def test_to_csv(self):
+        tl = Timeline()
+        tl.sample("b", 1.0, 2.0)
+        tl.sample("a", 0.25, 1.0)
+        csv = tl.to_csv()
+        assert csv.splitlines() == [
+            "series,time_s,value",
+            "a,0.25,1",
+            "b,1,2",
+        ]
+
+    def test_null_timeline_is_inert(self):
+        NULL_TIMELINE.sample("anything", 1.0, 2.0)
+        assert len(NULL_TIMELINE) == 0
+        assert NULL_TIMELINE.enabled is False
+        assert NULL_TIMELINE.to_csv() == "series,time_s,value\n"
+
+
+class TestProducerWiring:
+    def _traced_run(self, backend_name="ec2", **kwargs):
+        app = get_application("cap3")
+        tasks = cap3_task_specs(8, reads_per_file=150)
+        backend = make_backend(backend_name, **kwargs)
+        with observe(label=backend_name) as obs:
+            backend.run(app, tasks)
+        return obs
+
+    def test_queue_depth_sampled_over_sim_time(self):
+        obs = self._traced_run(
+            "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=5
+        )
+        depth = obs.timeline.series("queue.tasks.depth")
+        assert depth, "queue depth series missing"
+        times = [ts for ts, _ in depth]
+        assert times == sorted(times)
+        # The queue fills to 8 tasks and drains back to zero.
+        assert max(v for _, v in depth) == 8.0
+        assert depth[-1][1] == 0.0
+
+    def test_busy_workers_sampled(self):
+        obs = self._traced_run(
+            "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=5
+        )
+        busy = obs.timeline.series("workers.busy")
+        util = obs.timeline.series("workers.utilization")
+        assert busy and util
+        values = [v for _, v in busy]
+        assert min(values) >= 0.0
+        assert max(values) >= 1.0
+        assert all(0.0 <= v <= 1.0 for _, v in util)
+
+    def test_scheduler_series_for_hadoop_and_dryad(self):
+        from repro.cluster import get_cluster
+
+        hadoop = self._traced_run(
+            "hadoop", cluster=get_cluster("cap3-baremetal")
+        )
+        assert hadoop.timeline.series("scheduler.running_tasks")
+        dryad = self._traced_run(
+            "dryadlinq", cluster=get_cluster("cap3-baremetal-windows")
+        )
+        completed = dryad.timeline.series("scheduler.tasks_completed")
+        assert completed
+        assert completed[-1][1] == 8.0  # monotone count ends at n_tasks
+
+    def test_untraced_run_samples_nothing(self):
+        app = get_application("cap3")
+        tasks = cap3_task_specs(4, reads_per_file=150)
+        backend = make_backend(
+            "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=5
+        )
+        backend.run(app, tasks)  # no observe(): ambient bundle is null
+        assert len(NULL_TIMELINE) == 0
+
+
+class TestCounterExport:
+    def test_counter_events_round_trip(self):
+        tl = Timeline()
+        tl.sample("queue.tasks.depth", 0.0, 0.0)
+        tl.sample("queue.tasks.depth", 2.0, 5.0)
+        tl.sample("autoscale.pool_instances", 1.0, 4.0)
+        from repro.obs.tracer import Tracer
+
+        document = chrome_trace(Tracer(label="tl"), timeline=tl)
+        assert validate_chrome_trace(document) == []
+        counters = [
+            e for e in document["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert len(counters) == 3
+        assert all(e["pid"] == 1 for e in counters)
+        restored = series_from_trace(document)
+        assert restored["queue.tasks.depth"] == [(0.0, 0.0), (2.0, 5.0)]
+        assert restored["autoscale.pool_instances"] == [(1.0, 4.0)]
+
+    def test_traced_run_exports_counters(self):
+        app = get_application("cap3")
+        tasks = cap3_task_specs(8, reads_per_file=150)
+        backend = make_backend(
+            "ec2", n_instances=2, fault_plan=FaultPlan.none(), seed=5
+        )
+        with observe(label="counters") as obs:
+            backend.run(app, tasks)
+        document = chrome_trace(
+            obs.tracer, obs.metrics, timeline=obs.timeline
+        )
+        assert document["otherData"]["counter_events"] > 0
+        restored = series_from_trace(document)
+        assert restored["queue.tasks.depth"] == [
+            (pytest.approx(ts), v)
+            for ts, v in obs.timeline.series("queue.tasks.depth")
+        ]

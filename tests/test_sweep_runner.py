@@ -227,6 +227,47 @@ class TestProgress:
             (0, "cache-hit", 1)
         ]
 
+    def test_chunked_dispatch_with_mixed_cache_hits_orders_events(
+        self, tmp_path
+    ):
+        """Cache hits and pool-executed points interleave deterministically.
+
+        With points 1 and 2 pre-cached out of 4, a ``jobs=2`` run must:
+        emit exactly one ``cache-hit`` per cached point, before any
+        ``start`` (hits resolve during the scan, dispatch comes after);
+        emit ``start`` then ``done`` for each executed point; and stream
+        the ``done`` events in input order, because chunk futures are
+        collected in submission order, never completion order.
+        """
+        points = self._points(4)
+        cache = ResultCache(tmp_path)
+        serial = run_points([points[1], points[2]], jobs=1, cache=cache)
+        events = []
+        results = run_points(
+            points, jobs=2, cache=cache, progress=events.append
+        )
+        assert [results[1], results[2]] == serial  # served from cache
+        by_status = {}
+        for position, event in enumerate(events):
+            by_status.setdefault(event.status, []).append(
+                (position, event.index)
+            )
+        assert [idx for _, idx in by_status["cache-hit"]] == [1, 2]
+        assert [idx for _, idx in by_status["done"]] == [0, 3]
+        first_start = min(pos for pos, _ in by_status["start"])
+        assert all(pos < first_start for pos, _ in by_status["cache-hit"])
+        for index in (0, 3):
+            started = next(
+                pos for pos, i in by_status["start"] if i == index
+            )
+            finished = next(
+                pos for pos, i in by_status["done"] if i == index
+            )
+            assert started < finished
+        assert all(e.total == 4 for e in events)
+        # Parity: the mixed run returns exactly what a cold serial run does.
+        assert results == run_points(points, jobs=1)
+
     def test_inline_points_report_progress(self):
         app = get_application("cap3")
         point = point_for(app, _StubBackend(), _tasks())
