@@ -15,6 +15,9 @@ Commands:
 * ``sweep`` — run the instance-type sweep through the worker pool;
   with ``--trace`` exports one **merged multi-process** Chrome trace
   covering the parent and every pool worker;
+* ``serve`` — the sustained-traffic job service study
+  (:mod:`repro.serve`): seeded multi-tenant arrival streams, admission
+  control, fair-share scheduling, and the cost-vs-latency frontier;
 * ``trace`` — validate and summarize a Chrome ``trace_event`` JSON
   exported by ``run --trace`` / ``sweep --trace`` (:mod:`repro.obs`);
 * ``report`` — render a trace + run result + ``BENCH_*.json`` history
@@ -152,6 +155,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="OUT.json", default=None,
         help="capture inside every worker process and export one merged "
         "multi-process Chrome trace_event JSON",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="sustained-traffic job service study: multi-tenant arrival "
+        "streams, fair-share scheduling, cost-vs-latency frontier",
+    )
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="simulated seconds the arrival window stays open",
+    )
+    serve_parser.add_argument(
+        "--fleet", default="1,2,4", metavar="N[,N...]",
+        help="comma-separated fleet sizes to study (default 1,2,4)",
+    )
+    serve_parser.add_argument(
+        "--instance-type", default="HCXL", help="e.g. HCXL or Small"
+    )
+    serve_parser.add_argument(
+        "--provider", choices=("aws", "azure"), default="aws"
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=8, help="workers per instance"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="fleet points run in parallel (default: REPRO_JOBS or cpu "
+        "count)",
+    )
+    serve_parser.add_argument(
+        "--autoscale", choices=("target-tracking", "step"), default=None,
+        help="autoscale each fleet point instead of keeping it static",
+    )
+    serve_parser.add_argument(
+        "--spot-fraction", type=float, default=0.0,
+        help="fraction of the elastic fleet bought on the spot market "
+        "(requires --autoscale)",
+    )
+    serve_parser.add_argument(
+        "--max-instances", type=int, default=8,
+        help="elastic fleet ceiling (requires --autoscale)",
+    )
+    serve_parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="run fleet points in-process and export one merged Chrome "
+        "trace_event JSON (one synthetic process per fleet point)",
+    )
+    serve_parser.add_argument(
+        "--json", metavar="OUT.json", default=None,
+        help="also write the frontier rows as canonical JSON",
     )
 
     trace_parser = sub.add_parser(
@@ -558,6 +612,107 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    if _resolved_jobs_or_none(args, out) is None:
+        return 2
+    from repro.serve import (
+        ServeConfig,
+        default_tenants,
+        frontier_rows,
+        render_frontier,
+        run_serve,
+        serialize_rows,
+        serve_study,
+    )
+
+    try:
+        fleet_sizes = tuple(
+            int(piece) for piece in args.fleet.split(",") if piece.strip()
+        )
+    except ValueError:
+        print(f"error: --fleet must be integers, got {args.fleet!r}", file=out)
+        return 2
+    if not fleet_sizes:
+        print("error: --fleet must name at least one fleet size", file=out)
+        return 2
+    autoscale = None
+    if args.autoscale is not None:
+        from repro.autoscale import AutoscalePlan, default_policy
+        from repro.cloud.spot import BidStrategy
+
+        autoscale = AutoscalePlan(
+            policy=default_policy(args.autoscale),
+            min_instances=1,
+            max_instances=args.max_instances,
+            bid=BidStrategy.mixed(args.spot_fraction),
+        )
+    if args.trace:
+        # Tracing needs each point's span stream: run the points
+        # in-process sequentially, each in a private bundle adopted as
+        # one synthetic worker process of the merged export.
+        from repro.obs import Observability, observe
+        from repro.obs.context import worker_payload
+
+        obs = Observability.make(label="serve-study")
+        results = []
+        for n in fleet_sizes:
+            config = ServeConfig(
+                tenants=default_tenants(),
+                provider=args.provider,
+                instance_type=args.instance_type,
+                n_instances=n,
+                workers_per_instance=args.workers,
+                duration_s=args.duration,
+                seed=args.seed,
+                autoscale=autoscale,
+            )
+            label = f"serve-fleet-{n}"
+            child = Observability.make(label=label)
+            with observe(child):
+                results.append(run_serve(config))
+            obs.adopt_worker(worker_payload(child, label=label))
+        rows = frontier_rows(results)
+    else:
+        rows, results = serve_study(
+            fleet_sizes,
+            provider=args.provider,
+            instance_type=args.instance_type,
+            workers_per_instance=args.workers,
+            duration_s=args.duration,
+            seed=args.seed,
+            autoscale=autoscale,
+            jobs=args.jobs,
+        )
+    print(render_frontier(rows), file=out)
+    for result in results:
+        if result.abandoned or result.duplicates:
+            print(
+                f"fleet {result.n_instances}: {result.abandoned} abandoned, "
+                f"{result.duplicates} duplicate execution(s)",
+                file=out,
+            )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(serialize_rows(rows) + "\n")
+        print(f"frontier rows written to {args.json}", file=out)
+    if args.trace:
+        from repro.obs import summarize_chrome_trace, write_chrome_trace
+
+        document = write_chrome_trace(args.trace, obs)
+        workers = document["otherData"].get("workers", [])
+        print(file=out)
+        print(summarize_chrome_trace(document), file=out)
+        print(file=out)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(document['traceEvents'])} events, "
+            f"{len(workers)} fleet point(s) merged; open in "
+            "chrome://tracing or ui.perfetto.dev)",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_report(args, out) -> int:
     import json
     from glob import glob
@@ -846,6 +1001,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
     if args.command == "report":

@@ -274,8 +274,23 @@ def fig_autoscale() -> str:
     return render_frontier(rows)
 
 
+def fig_serve() -> str:
+    """The serving extension's sustained-load frontier (new study).
+
+    Not a figure from the paper — the :mod:`repro.serve` extension's
+    surface: per-tenant latency percentiles against SLOs, and dollars
+    per thousand completed jobs, across fleet sizes under the default
+    three-tenant traffic mix.
+    """
+    from repro.serve import render_frontier, serve_study
+
+    rows, _ = serve_study(duration_s=300.0, seed=42, jobs=None)
+    return render_frontier(rows)
+
+
 FIGURES: dict[str, Callable[[], str]] = {
     "autoscale": fig_autoscale,
+    "serve": fig_serve,
     "fig3_4": fig3_4,
     "fig5_6": fig5_6,
     "fig7_8": fig7_8,

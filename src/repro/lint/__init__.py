@@ -28,7 +28,13 @@ code) and the threaded runtimes' independence story:
 
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.checker import LintResult, ParsedFile, lint_file, lint_paths
-from repro.lint.docscheck import DocProblem, DocsCheckResult, check_docs
+from repro.lint.docscheck import (
+    DocProblem,
+    DocsCheckResult,
+    check_docs,
+    cli_subcommands,
+    lint_rule_codes,
+)
 from repro.lint.project import ProjectModel
 from repro.lint.report import format_human, format_json
 from repro.lint.rules import (
@@ -68,10 +74,12 @@ __all__ = [
     "all_rules",
     "apply_baseline",
     "check_docs",
+    "cli_subcommands",
     "format_human",
     "format_json",
     "lint_file",
     "lint_paths",
+    "lint_rule_codes",
     "load_baseline",
     "monitor",
     "monitor_lock",

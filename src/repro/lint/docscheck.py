@@ -12,6 +12,12 @@ Markdown rots in two ways this module catches mechanically:
   A fence directly preceded by an ``<!-- no-run -->`` comment line is
   skipped — for deliberately-broken examples (``docs/LINT.md``).
 
+* **coverage drift** — when checking the default doc tree, every CLI
+  subcommand must be mentioned somewhere in the docs as ``repro
+  <command>``, and every lint rule code (``RPR001``–``RPR202``) must
+  appear verbatim.  A feature that ships without documentation fails
+  the check the same way a broken link does.
+
 ``python -m repro docs`` drives this over ``README.md`` + ``docs/``;
 CI runs it as the ``docs`` job.
 """
@@ -30,7 +36,9 @@ __all__ = [
     "DocsCheckResult",
     "NO_RUN_MARKER",
     "check_docs",
+    "cli_subcommands",
     "default_doc_paths",
+    "lint_rule_codes",
 ]
 
 NO_RUN_MARKER = "<!-- no-run -->"
@@ -41,11 +49,11 @@ _SKIP_SCHEMES = ("http://", "https://", "mailto:")
 
 @dataclass(frozen=True)
 class DocProblem:
-    """One broken link or failed code block."""
+    """One broken link, failed code block, or coverage miss."""
 
     path: str
     line: int
-    kind: str  # "link" | "anchor" | "code"
+    kind: str  # "link" | "anchor" | "code" | "coverage"
     message: str
 
     def render(self) -> str:
@@ -58,6 +66,7 @@ class DocsCheckResult:
     links_checked: int = 0
     fences_run: int = 0
     fences_skipped: int = 0
+    coverage_checked: int = 0  # CLI subcommands + rule codes verified
     problems: list = field(default_factory=list)
 
     @property
@@ -70,6 +79,7 @@ class DocsCheckResult:
             f"docs: {len(self.checked_files)} files, "
             f"{self.links_checked} links, {self.fences_run} code blocks run "
             f"({self.fences_skipped} marked no-run), "
+            f"{self.coverage_checked} coverage facts, "
             f"{len(self.problems)} problem(s)"
         )
         return "\n".join(lines)
@@ -215,14 +225,84 @@ def _run_fences(path, fences, result):
             os.chdir(original_cwd)
 
 
-def check_docs(paths=None, root=None, execute=True) -> DocsCheckResult:
-    """Check links (always) and run python fences (unless ``execute=False``)."""
+def cli_subcommands() -> list:
+    """Every ``python -m repro`` subcommand name, from the live parser."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    commands = []
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            commands.extend(action.choices)
+    return sorted(set(commands))
+
+
+def lint_rule_codes() -> list:
+    """Every lint rule code: static rules plus the runtime sanitizers."""
+    from repro.lint.rules import RULE_REGISTRY
+    from repro.lint.threadsan import LOCK_ORDER_CODE, RACE_CODE
+
+    return sorted(set(RULE_REGISTRY) | {LOCK_ORDER_CODE, RACE_CODE})
+
+
+def _check_coverage(doc_texts: "dict[str, str]", problems: list) -> int:
+    """Every subcommand and rule code must appear in the docs tree.
+
+    Matching is deliberately literal: ``repro <command>`` (the way every
+    doc writes invocations) and the bare ``RPR###`` code.  Returns the
+    number of coverage facts checked.
+    """
+    corpus = "\n".join(doc_texts.values())
+    tree = ", ".join(sorted(os.path.basename(p) for p in doc_texts)) or "-"
+    checked = 0
+    for command in cli_subcommands():
+        checked += 1
+        if not re.search(rf"\brepro {re.escape(command)}\b", corpus):
+            problems.append(
+                DocProblem(
+                    "docs",
+                    0,
+                    "coverage",
+                    f"CLI subcommand 'repro {command}' is documented "
+                    f"nowhere in the checked tree ({tree})",
+                )
+            )
+    for code in lint_rule_codes():
+        checked += 1
+        if code not in corpus:
+            problems.append(
+                DocProblem(
+                    "docs",
+                    0,
+                    "coverage",
+                    f"lint rule code {code} is documented nowhere in the "
+                    f"checked tree ({tree})",
+                )
+            )
+    return checked
+
+
+def check_docs(
+    paths=None, root=None, execute=True, coverage=None
+) -> DocsCheckResult:
+    """Check links (always), run python fences (unless ``execute=False``),
+    and — when checking the default doc tree — require every CLI
+    subcommand and lint rule code to be documented somewhere in it.
+
+    ``coverage`` overrides the default: ``None`` enables the coverage
+    pass exactly when ``paths`` is not given (a partial file list cannot
+    satisfy a whole-tree requirement).
+    """
     root = Path(root) if root is not None else Path.cwd()
     doc_paths = (
         [Path(p) for p in paths] if paths else default_doc_paths(root)
     )
+    if coverage is None:
+        coverage = paths is None
     result = DocsCheckResult()
     headings_cache = {}
+    doc_texts: dict[str, str] = {}
     for path in doc_paths:
         if not path.is_file():
             result.problems.append(
@@ -230,10 +310,13 @@ def check_docs(paths=None, root=None, execute=True) -> DocsCheckResult:
             )
             continue
         result.checked_files.append(str(path))
+        doc_texts[str(path)] = path.read_text(encoding="utf-8")
         _, links, fences = _parse(path)
         for lineno, target in links:
             result.links_checked += 1
             _check_link(path, lineno, target, headings_cache, result.problems)
         if execute:
             _run_fences(path, fences, result)
+    if coverage:
+        result.coverage_checked = _check_coverage(doc_texts, result.problems)
     return result

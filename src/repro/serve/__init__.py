@@ -1,0 +1,54 @@
+"""repro.serve — the always-on multi-tenant job service simulator.
+
+Converts the paper's batch Classic Cloud framework into a *serving*
+system: seeded open-loop arrival streams per tenant
+(:mod:`repro.serve.tenants`), typed admission control with quotas and
+backpressure (:mod:`repro.serve.admission`), weighted deficit
+round-robin fair sharing (:mod:`repro.serve.scheduler`), a polling
+worker fleet with the full autoscale + spot-preemption story
+(:mod:`repro.serve.service`), and the sustained-load cost-vs-latency
+frontier study (:mod:`repro.serve.study`) behind ``python -m repro
+serve``.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionOutcome,
+    TenantAccount,
+)
+from repro.serve.scheduler import FairShareScheduler
+from repro.serve.service import (
+    JobService,
+    ServeConfig,
+    ServeResult,
+    TenantStats,
+    run_serve,
+)
+from repro.serve.study import (
+    ServeStudyRow,
+    default_tenants,
+    frontier_rows,
+    render_frontier,
+    serialize_rows,
+    serve_study,
+)
+from repro.serve.tenants import TenantSpec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionOutcome",
+    "FairShareScheduler",
+    "JobService",
+    "ServeConfig",
+    "ServeResult",
+    "ServeStudyRow",
+    "TenantAccount",
+    "TenantSpec",
+    "TenantStats",
+    "default_tenants",
+    "frontier_rows",
+    "render_frontier",
+    "run_serve",
+    "serialize_rows",
+    "serve_study",
+]

@@ -1,0 +1,136 @@
+"""Admission control: per-tenant quotas and queue-depth backpressure.
+
+Every submitted job gets a *typed* outcome — admitted, shed on the
+tenant's quota, or shed on global backlog — and every outcome is
+counted.  Nothing is ever dropped silently: the accounting identity
+
+    submitted == admitted + shed_quota + shed_backlog
+    admitted  == completed + abandoned
+
+is asserted when the service builds its result, so a bookkeeping bug
+fails the run instead of skewing a frontier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.serve.tenants import TenantSpec
+
+__all__ = ["AdmissionOutcome", "TenantAccount", "AdmissionController"]
+
+
+class AdmissionOutcome(enum.Enum):
+    """Where a submitted job went.  Every branch is counted."""
+
+    ADMITTED = "admitted"
+    SHED_QUOTA = "shed_quota"  # tenant exceeded its in-system quota
+    SHED_BACKLOG = "shed_backlog"  # service-wide backlog cap reached
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's running totals.  All integers, all reconciled."""
+
+    submitted: int = 0
+    admitted: int = 0
+    shed_quota: int = 0
+    shed_backlog: int = 0
+    completed: int = 0
+    abandoned: int = 0  # admitted but unfinished when the run drained out
+    duplicates: int = 0  # extra executions of already-completed jobs
+    latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def in_system(self) -> int:
+        """Admitted jobs not yet completed (or written off)."""
+        return self.admitted - self.completed - self.abandoned
+
+    @property
+    def shed(self) -> int:
+        return self.shed_quota + self.shed_backlog
+
+    def check(self) -> None:
+        """Assert the accounting identities (never silent drops)."""
+        if self.submitted != self.admitted + self.shed_quota + self.shed_backlog:
+            raise RuntimeError(
+                f"admission accounting broken: submitted={self.submitted} "
+                f"!= admitted={self.admitted} + shed_quota={self.shed_quota}"
+                f" + shed_backlog={self.shed_backlog}"
+            )
+        if self.admitted != self.completed + self.abandoned:
+            raise RuntimeError(
+                f"completion accounting broken: admitted={self.admitted} "
+                f"!= completed={self.completed} + "
+                f"abandoned={self.abandoned}"
+            )
+
+
+class AdmissionController:
+    """Decides, and counts, the fate of every submitted job.
+
+    Two gates, checked in order:
+
+    1. **tenant quota** — a tenant may not hold more than
+       ``spec.quota`` jobs in the system (queued + dispatched +
+       executing).  A greedy tenant sheds on its own quota long before
+       it can push the service into backpressure.
+    2. **global backlog** — the service caps total in-system jobs at
+       ``max_backlog``; beyond it, *any* tenant's submission sheds.
+    """
+
+    def __init__(self, tenants: "tuple[TenantSpec, ...]", max_backlog: int):
+        if max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+        self.specs = {spec.name: spec for spec in tenants}
+        self.max_backlog = max_backlog
+        self.accounts: dict[str, TenantAccount] = {
+            spec.name: TenantAccount() for spec in tenants
+        }
+
+    def total_in_system(self) -> int:
+        return sum(a.in_system for a in self.accounts.values())
+
+    def submit(self, tenant: str) -> AdmissionOutcome:
+        """Record one submission and return its typed outcome.
+
+        On ``ADMITTED`` the caller owns enqueueing the job; the
+        controller has already counted it into ``in_system``.
+        """
+        spec = self.specs[tenant]
+        account = self.accounts[tenant]
+        account.submitted += 1
+        if account.in_system >= spec.quota:
+            account.shed_quota += 1
+            return AdmissionOutcome.SHED_QUOTA
+        if self.total_in_system() >= self.max_backlog:
+            account.shed_backlog += 1
+            return AdmissionOutcome.SHED_BACKLOG
+        account.admitted += 1
+        return AdmissionOutcome.ADMITTED
+
+    def complete(self, tenant: str, latency_s: float) -> None:
+        account = self.accounts[tenant]
+        account.completed += 1
+        account.latencies.append(latency_s)
+
+    def duplicate(self, tenant: str) -> None:
+        self.accounts[tenant].duplicates += 1
+
+    def abandon_remaining(self) -> int:
+        """Write off every in-system job (drain timeout / zero capacity).
+
+        Returns the number of jobs written off.  After this the
+        completion identity holds again: nothing is left dangling.
+        """
+        written_off = 0
+        for account in self.accounts.values():
+            leftover = account.in_system
+            account.abandoned += leftover
+            written_off += leftover
+        return written_off
+
+    def check(self) -> None:
+        for account in self.accounts.values():
+            account.check()

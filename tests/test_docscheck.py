@@ -1,8 +1,13 @@
-"""The documentation checker: link resolution + executable fences."""
+"""The documentation checker: links, executable fences, coverage."""
 
 from pathlib import Path
 
-from repro.lint.docscheck import check_docs, default_doc_paths
+from repro.lint.docscheck import (
+    check_docs,
+    cli_subcommands,
+    default_doc_paths,
+    lint_rule_codes,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -108,6 +113,61 @@ class TestFences:
         result = check_docs(paths=[doc])
         assert result.ok
         assert result.fences_run == 0
+
+
+def full_coverage_text():
+    """A corpus that mentions every subcommand and rule code."""
+    lines = [f"Run `repro {command}` for things." for command in cli_subcommands()]
+    lines.extend(f"Rule {code} exists." for code in lint_rule_codes())
+    return "\n".join(lines) + "\n"
+
+
+class TestCoverage:
+    def test_registries_track_the_live_surface(self):
+        commands = cli_subcommands()
+        assert "serve" in commands
+        assert "docs" in commands
+        assert "sweep" in commands
+        codes = lint_rule_codes()
+        assert "RPR001" in codes
+        assert "RPR202" in codes
+
+    def test_explicit_paths_skip_coverage(self, tmp_path):
+        # A partial file list cannot satisfy a whole-tree requirement.
+        doc = write(tmp_path / "doc.md", "nothing documented here\n")
+        result = check_docs(paths=[doc], execute=False)
+        assert result.ok
+        assert result.coverage_checked == 0
+
+    def test_full_corpus_passes(self, tmp_path):
+        doc = write(tmp_path / "doc.md", full_coverage_text())
+        result = check_docs(paths=[doc], execute=False, coverage=True)
+        assert result.ok, result.render()
+        expected = len(cli_subcommands()) + len(lint_rule_codes())
+        assert result.coverage_checked == expected
+
+    def test_missing_subcommand_flagged(self, tmp_path):
+        text = full_coverage_text().replace("`repro serve`", "`repro-serve`")
+        doc = write(tmp_path / "doc.md", text)
+        result = check_docs(paths=[doc], execute=False, coverage=True)
+        (problem,) = result.problems
+        assert problem.kind == "coverage"
+        assert "repro serve" in problem.message
+
+    def test_missing_rule_code_flagged(self, tmp_path):
+        text = full_coverage_text().replace("Rule RPR202 exists.", "")
+        doc = write(tmp_path / "doc.md", text)
+        result = check_docs(paths=[doc], execute=False, coverage=True)
+        (problem,) = result.problems
+        assert problem.kind == "coverage"
+        assert "RPR202" in problem.message
+
+    def test_substring_mentions_do_not_count(self, tmp_path):
+        # "repro serves" must not satisfy "repro serve".
+        text = full_coverage_text().replace("`repro serve`", "repro serves")
+        doc = write(tmp_path / "doc.md", text)
+        result = check_docs(paths=[doc], execute=False, coverage=True)
+        assert [p.kind for p in result.problems] == ["coverage"]
 
 
 class TestRepoDocs:

@@ -15,6 +15,7 @@ def test_available_figures_lists_all():
         "fig5_6",
         "fig7_8",
         "fig9",
+        "serve",
     ]
 
 
