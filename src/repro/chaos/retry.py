@@ -1,0 +1,119 @@
+"""Budget-capped retry with exponential backoff and full jitter.
+
+The mitigation half of :mod:`repro.chaos`: cloud clients that retry
+forever hide faults from the operator (and from the makespan) at the
+cost of unbounded tail latency, while clients that retry in lockstep
+synchronize into retry storms.  A :class:`RetryPolicy` bounds both — a
+hard attempt budget, exponential spacing, and *full jitter* (each delay
+drawn uniformly from ``[0, cap)``, the AWS architecture-blog
+recommendation) so retries from different workers decorrelate.
+
+Policies are frozen dataclasses: picklable, fingerprintable by
+:mod:`repro.sweep`, and safe to share between workers.  All randomness
+comes from the caller-supplied ``numpy`` generator, so a seeded run
+replays the same delays byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+__all__ = ["RetryPolicy", "run_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries a failing request.
+
+    ``attempts`` is the total budget *including* the first try; when it
+    is exhausted the **original error propagates** — a policy never
+    swallows or rewraps the failure it could not outwait.  ``jitter``
+    selects the delay shape: ``"full"`` draws each delay uniformly from
+    ``[0, cap)`` where ``cap = min(max_delay_s, base_delay_s *
+    multiplier**(attempt-1))``; ``"none"`` uses the cap itself
+    (deterministic, used where legacy fixed-interval timing must be
+    preserved exactly).
+    """
+
+    attempts: int = 5
+    base_delay_s: float = 0.5
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    jitter: str = "full"  # "full" | "none"
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter not in ("full", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def cap_s(self, attempt: int) -> float:
+        """The backoff ceiling before the ``attempt``-th retry (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+        )
+
+    def backoff_s(self, attempt: int, rng=None) -> float:
+        """Delay before the ``attempt``-th retry.
+
+        ``rng`` (a ``numpy.random.Generator``) is required for
+        ``jitter="full"`` and ignored for ``jitter="none"`` — so a
+        no-jitter policy consumes no random draws, leaving every other
+        stream of a seeded run untouched.
+        """
+        cap = self.cap_s(attempt)
+        if self.jitter == "none":
+            return cap
+        if rng is None:
+            raise ValueError("jitter='full' needs an rng")
+        return float(rng.uniform(0.0, cap))
+
+    @staticmethod
+    def fixed(attempts: int, delay_s: float) -> "RetryPolicy":
+        """A constant-interval, no-jitter policy.
+
+        Reproduces legacy fixed-poll retry loops (e.g. the workers'
+        historical 241 x 0.5 s eventual-consistency download loop)
+        under the policy interface, byte-identical in timing and RNG
+        consumption.
+        """
+        return RetryPolicy(
+            attempts=attempts,
+            base_delay_s=delay_s,
+            max_delay_s=delay_s,
+            multiplier=1.0,
+            jitter="none",
+        )
+
+
+def run_with_retry(
+    env,
+    policy: RetryPolicy,
+    make_attempt: Callable[[], Generator],
+    retryable: tuple = (Exception,),
+    rng=None,
+) -> Generator:
+    """Drive a DES request generator through a retry policy (process).
+
+    Each attempt re-invokes ``make_attempt()`` (the failed generator is
+    spent and cannot be resumed).  Failures matching ``retryable`` are
+    backed off and retried until the budget runs out, at which point the
+    **last original error re-raises unchanged** — callers see exactly
+    the exception the final attempt produced.
+    """
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            result = yield from make_attempt()
+            return result
+        except retryable:
+            if attempt >= policy.attempts:
+                raise
+            yield env.timeout(policy.backoff_s(attempt, rng))

@@ -19,6 +19,10 @@ from dataclasses import asdict, dataclass, field
 from repro.apps.perfmodels import task_runtime_seconds
 from repro.autoscale.controller import AutoscaleController
 from repro.autoscale.plan import AutoscalePlan
+from repro.chaos.injectors import ChaosController
+from repro.chaos.plan import ChaosPlan
+from repro.chaos.retry import RetryPolicy, run_with_retry
+from repro.chaos.speculation import BackupCopy, SpeculationPolicy
 from repro.cloud.billing import CostMeter
 from repro.cloud.compute import CloudProvider, VmInstance
 from repro.cloud.failures import FaultPlan
@@ -29,7 +33,7 @@ from repro.cloud.instance_types import (
 )
 from repro.cloud.pricing import AWS_PRICES, AZURE_PRICES
 from repro.cloud.queue import MessageQueue, StaleReceiptError
-from repro.cloud.storage import BlobNotFound, BlobStore
+from repro.cloud.storage import BlobNotFound, BlobStore, StorageUnavailable
 from repro.core.application import Application
 from repro.core.task import RunResult, TaskRecord, TaskSpec
 from repro.obs.context import current as _current_obs
@@ -37,6 +41,11 @@ from repro.sim.engine import Environment, Interrupt, make_environment
 from repro.sim.rng import RngRegistry
 
 __all__ = ["ClassicCloudConfig", "ClassicCloudFramework", "LocalAugmentation"]
+
+#: The workers' eventual-consistency download loop, expressed as a
+#: retry policy: 241 attempts at a flat 0.5 s — byte-identical in
+#: timing (and RNG consumption: none) to the historical ``for`` loop.
+_DOWNLOAD_RETRY = RetryPolicy.fixed(attempts=241, delay_s=0.5)
 
 
 @dataclass(frozen=True)
@@ -111,6 +120,19 @@ class ClassicCloudConfig:
     # spot-market bidding and preemption).  None keeps the paper's
     # static deployment.
     autoscale: AutoscalePlan | None = None
+    # Chaos: a seeded fault schedule (crashes, preemption waves,
+    # queue/storage misbehaviour windows, slow nodes) played against
+    # the run by repro.chaos.  None injects nothing.
+    chaos: ChaosPlan | None = None
+    # Mitigation: a budget-capped backoff-with-jitter policy for the
+    # storage client's internal 5xx retries and the workers' empty-
+    # receive poll backoff.  None keeps the historical behaviour
+    # (retry-forever storage, fixed poll_backoff_s).
+    retry_policy: RetryPolicy | None = None
+    # Mitigation: Hadoop-style speculative re-execution — backup copies
+    # of slowest-percentile in-flight tasks, first finisher wins,
+    # duplicates reconciled idempotently.  None disables speculation.
+    speculation: SpeculationPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.n_instances < 1 or self.workers_per_instance < 1:
@@ -218,6 +240,7 @@ class _SimRun:
             meter=self.meter,
             consistency_window_s=config.consistency_window_s,
             error_rate=config.fault_plan.storage_error_rate,
+            retry_policy=config.retry_policy,
         )
         self.dead_letter_queue: MessageQueue | None = None
         if config.max_task_attempts is not None:
@@ -254,6 +277,30 @@ class _SimRun:
         self._worker_counter = 0
         self._busy_workers = 0
         self._worker_instance: dict[int, VmInstance] = {}
+        self._all_workers: list = []
+        # Resilience bookkeeping (chaos / speculation / retry runs).
+        self._task_started_at: dict[str, float] = {}
+        self._finished_ids: set[str] = set()
+        self._backup_sent: set[str] = set()
+        self._recoveries: list[float] = []
+        self.speculative_launched = 0
+        self.chaos: ChaosController | None = None
+        if config.chaos is not None:
+            self.chaos = ChaosController(
+                self.env,
+                config.chaos,
+                queue=self.task_queue,
+                storage=self.storage,
+                instances=lambda: [
+                    i for i in self.cloud.instances if i.is_running
+                ],
+                workers=lambda: [
+                    p for p in self._all_workers if p.is_alive
+                ],
+                crash_worker=lambda p: p.interrupt("chaos-crash"),
+                restart_worker=self._restart_worker_like,
+                preempt_instance=self._chaos_preempt,
+            )
         self.controller: AutoscaleController | None = None
         if config.autoscale is not None:
             self.controller = AutoscaleController(
@@ -295,6 +342,15 @@ class _SimRun:
         autoscale_extras = (
             self.controller.summary() if self.controller is not None else {}
         )
+        failed = (
+            {
+                task.task_id
+                for task in self.dead_letter_queue.peek_bodies()
+            }
+            - self.completed
+            if self.dead_letter_queue is not None
+            else set()
+        )
         return RunResult(
             backend=f"classiccloud-{self.config.provider}",
             app_name=self.app.name,
@@ -314,21 +370,61 @@ class _SimRun:
                 "visibility_timeout_s": self.task_queue.visibility_timeout_s,
                 "dead_lettered": float(self.task_queue.stats.dead_lettered),
                 **autoscale_extras,
+                **self._resilience_extras(len(failed)),
             },
             completed=set(self.completed),
             # Disjoint from completed: a task that finished somewhere but
             # also tripped the receive limit is a success, not a failure.
-            failed=(
-                {
-                    task.task_id
-                    for task in self.dead_letter_queue.peek_bodies()
-                }
-                - self.completed
-                if self.dead_letter_queue is not None
-                else set()
-            ),
+            failed=failed,
             queue_stats=asdict(self.task_queue.stats),
         )
+
+    def _resilience_extras(self, n_failed: int) -> dict[str, float]:
+        """Recovery metrics, emitted only on chaos/mitigation runs so
+        legacy configurations keep byte-identical extras."""
+        config = self.config
+        if (
+            config.chaos is None
+            and config.speculation is None
+            and config.retry_policy is None
+        ):
+            return {}
+        # First finisher per task is useful work; every later attempt's
+        # seconds are redundant.  Records append in completion order, so
+        # the first record per task id is the winner.
+        total = 0.0
+        redundant = 0.0
+        speculative_wins = 0
+        first_done: set[str] = set()
+        for record in self.records:
+            total += record.elapsed
+            if record.task_id in first_done:
+                redundant += record.elapsed
+            else:
+                first_done.add(record.task_id)
+                if record.speculative:
+                    speculative_wins += 1
+        extras = {
+            "tasks_completed": float(len(self.completed)),
+            "tasks_failed": float(n_failed),
+            "redundant_seconds": redundant,
+            "redundant_fraction": redundant / total if total else 0.0,
+            # MTTR: delivery-to-completion time of tasks that finished
+            # on a redelivered message — how long the visibility-timeout
+            # recovery path took, averaged over recoveries.
+            "chaos_mttr_s": (
+                sum(self._recoveries) / len(self._recoveries)
+                if self._recoveries
+                else 0.0
+            ),
+            "chaos_recoveries": float(len(self._recoveries)),
+            "speculative_launched": float(self.speculative_launched),
+            "speculative_wins": float(speculative_wins),
+            "lost_deletes": float(self.task_queue.stats.lost_deletes),
+        }
+        if self.chaos is not None:
+            extras.update(self.chaos.summary())
+        return extras
 
     def _publish_run_metrics(self, makespan: float) -> None:
         """Per-worker busy fractions + kernel event throughput."""
@@ -413,6 +509,12 @@ class _SimRun:
                     self._crasher(workers[crash.worker_index], crash),
                     name=f"crasher-{crash.worker_index}",
                 )
+        # Chaos: the seeded plan's clock starts at the measured window.
+        if self.chaos is not None:
+            self.chaos.start_at = self.measure_start
+            self.chaos.start()
+        if config.speculation is not None:
+            self.env.process(self._speculator(), name="speculator")
 
         completion = self.env.process(self._completion_watcher(), name="watch")
         yield completion
@@ -444,6 +546,7 @@ class _SimRun:
             name=name,
         )
         self._worker_instance[id(process)] = host
+        self._all_workers.append(process)
         return process
 
     def _respawn_after_poison(
@@ -469,6 +572,74 @@ class _SimRun:
             instance = self._worker_instance.get(id(worker_process))
             if instance is not None and instance.is_running:
                 self._spawn_worker(instance)
+
+    # -- chaos hooks -----------------------------------------------------------
+    def _restart_worker_like(self, victim) -> None:
+        """Replacement worker on the crash victim's instance, if alive."""
+        host = self._worker_instance.get(id(victim))
+        if host is not None and host.is_running:
+            self._spawn_worker(host)
+
+    def _chaos_preempt(self, instance) -> None:
+        """Provider-initiated reclaim of one instance and its workers."""
+        for process in self._all_workers:
+            if (
+                process.is_alive
+                and self._worker_instance.get(id(process)) is instance
+            ):
+                process.interrupt("chaos-preempted")
+        if instance.is_running:
+            self.cloud.terminate(instance, preempted=True)
+
+    def _speculator(self):
+        """Launch backup copies of slowest-percentile in-flight tasks.
+
+        Every poll, once enough tasks have completed to estimate a
+        duration distribution, any task still executing after
+        ``threshold_multiplier`` times the ``percentile``-th completed
+        duration gets one :class:`BackupCopy` enqueued.  Whichever
+        attempt finishes first wins; the loser's (identical) result is
+        reconciled idempotently by the completion watcher.
+        """
+        policy = self.config.speculation
+        while self._accounted_tasks() < len(self.tasks):
+            yield self.env.timeout(policy.poll_s)
+            durations = sorted(r.elapsed for r in self.records)
+            if len(durations) < policy.min_completed:
+                continue
+            index = min(
+                len(durations) - 1,
+                max(0, int(policy.percentile * len(durations)) - 1),
+            )
+            cutoff = durations[index] * policy.threshold_multiplier
+            now = self.env.now
+            for task in self.tasks:
+                if (
+                    policy.max_backups is not None
+                    and self.speculative_launched >= policy.max_backups
+                ):
+                    break
+                tid = task.task_id
+                if tid in self.completed or tid in self._backup_sent:
+                    continue
+                started = self._task_started_at.get(tid)
+                if started is None or now - started <= cutoff:
+                    continue
+                self._backup_sent.add(tid)
+                self.speculative_launched += 1
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "chaos.speculate",
+                        track="chaos",
+                        ts=now,
+                        task_id=tid,
+                        age_s=now - started,
+                        cutoff_s=cutoff,
+                    )
+                self.obs.timeline.sample(
+                    "chaos.speculative", now, self.speculative_launched
+                )
+                yield from self.task_queue.send(BackupCopy(task))
 
     def _client(self):
         # SendMessageBatch: ten tasks per request, as real clients do.
@@ -516,9 +687,10 @@ class _SimRun:
     def _sample_busy(self, delta: int) -> None:
         """Timeline samples: busy workers + utilization over sim time.
 
-        Best-effort by design: a worker killed mid-task (poison /
-        preemption) never emits its ``-1``, slightly inflating the last
-        samples of a faulty run — acceptable for a sampled gauge.
+        Every ``+1`` is paired with a ``-1``: the normal path emits it
+        after the task completes, and the Interrupt recovery path emits
+        it for a worker killed mid-task (poison / preemption / chaos),
+        so the gauge returns to zero when the run drains.
         """
         if not self.obs.enabled:
             return
@@ -549,8 +721,16 @@ class _SimRun:
         config = self.config
         rng = self.rng.stream(f"{name}-jitter")
         straggle_rng = self.rng.stream(f"{name}-straggle")
+        retry_policy = config.retry_policy
+        backoff_rng = (
+            self.rng.stream(f"{name}-backoff")
+            if retry_policy is not None
+            else None
+        )
         tracer = self.tracer
         wait_start = self.env.now
+        busy = False  # whether a +1 busy sample awaits its -1
+        empty_streak = 0
         try:
             while len(self.completed) < len(self.tasks):
                 # Scale-in: a draining (or already terminated) host stops
@@ -561,10 +741,26 @@ class _SimRun:
                 if wan_latency_s:
                     yield self.env.timeout(wan_latency_s)
                 if msg is None:
-                    yield self.env.timeout(config.poll_backoff_s)
+                    # With a retry policy the empty-receive backoff grows
+                    # (jittered) instead of hammering a drained queue at
+                    # a fixed period.
+                    if retry_policy is not None:
+                        empty_streak = min(empty_streak + 1, 30)
+                        yield self.env.timeout(
+                            config.poll_backoff_s
+                            + retry_policy.backoff_s(
+                                empty_streak, backoff_rng
+                            )
+                        )
+                    else:
+                        yield self.env.timeout(config.poll_backoff_s)
                     continue
-                task: TaskSpec = msg.body
+                empty_streak = 0
+                body = msg.body
+                speculative = isinstance(body, BackupCopy)
+                task: TaskSpec = body.task if speculative else body
                 started = self.env.now
+                self._task_started_at[task.task_id] = started
                 first_attempt = msg.receive_count == 1
 
                 # Poison task: executing its input kills the worker.
@@ -583,59 +779,74 @@ class _SimRun:
                     return
 
                 self._sample_busy(+1)
+                busy = True
 
-                # Download the input file over HTTP, retrying through
-                # eventual-consistency 404s.  Bounded: a key that never
-                # appears is a configuration error, not a consistency
-                # blip, and must fail loudly rather than hang the run.
-                t0 = self.env.now
-                for attempt_left in range(240, -1, -1):
+                try:
+                    # Download the input file over HTTP, retrying through
+                    # eventual-consistency 404s.  Bounded: a key that
+                    # never appears is a configuration error, not a
+                    # consistency blip, and must fail loudly rather than
+                    # hang the run.
+                    t0 = self.env.now
                     try:
-                        yield from self.storage.get(
-                            task.input_key,
-                            bandwidth_bps=wan_bandwidth_bps,
-                            extra_latency_s=wan_latency_s,
+                        yield from run_with_retry(
+                            self.env,
+                            _DOWNLOAD_RETRY,
+                            lambda: self.storage.get(
+                                task.input_key,
+                                bandwidth_bps=wan_bandwidth_bps,
+                                extra_latency_s=wan_latency_s,
+                            ),
+                            retryable=(BlobNotFound,),
                         )
-                        break
                     except BlobNotFound:
-                        if attempt_left == 0:
-                            raise RuntimeError(
-                                f"input {task.input_key!r} never became "
-                                "visible in storage"
-                            ) from None
-                        yield self.env.timeout(0.5)
-                download_time = self.env.now - t0
+                        raise RuntimeError(
+                            f"input {task.input_key!r} never became "
+                            "visible in storage"
+                        ) from None
+                    download_time = self.env.now - t0
 
-                # Execute the program.
-                service = task_runtime_seconds(
-                    self.app.perf_model,
-                    task.work_units,
-                    host.machine,
-                    concurrent_workers=concurrent_workers,
-                    threads=config.threads_per_worker,
-                    clock_ghz=host.effective_clock_ghz(),
-                )
-                plan = config.fault_plan
-                if (
-                    plan.straggler_probability
-                    and straggle_rng.random() < plan.straggler_probability
-                ):
-                    service *= plan.straggler_slowdown
-                # Small service-time noise on top of instance jitter.
-                service *= float(rng.uniform(0.98, 1.02))
-                t1 = self.env.now
-                yield self.env.timeout(service)
-                compute_time = self.env.now - t1
+                    # Execute the program.
+                    service = task_runtime_seconds(
+                        self.app.perf_model,
+                        task.work_units,
+                        host.machine,
+                        concurrent_workers=concurrent_workers,
+                        threads=config.threads_per_worker,
+                        clock_ghz=host.effective_clock_ghz(),
+                    )
+                    plan = config.fault_plan
+                    if (
+                        plan.straggler_probability
+                        and straggle_rng.random()
+                        < plan.straggler_probability
+                    ):
+                        service *= plan.straggler_slowdown
+                    # Small service-time noise on top of instance jitter.
+                    service *= float(rng.uniform(0.98, 1.02))
+                    t1 = self.env.now
+                    yield self.env.timeout(service)
+                    compute_time = self.env.now - t1
 
-                # Upload the result (idempotent overwrite on re-execution).
-                t2 = self.env.now
-                yield from self.storage.put(
-                    task.output_key,
-                    task.output_size,
-                    bandwidth_bps=wan_bandwidth_bps,
-                    extra_latency_s=wan_latency_s,
-                )
-                upload_time = self.env.now - t2
+                    # Upload the result (idempotent overwrite on
+                    # re-execution).
+                    t2 = self.env.now
+                    yield from self.storage.put(
+                        task.output_key,
+                        task.output_size,
+                        bandwidth_bps=wan_bandwidth_bps,
+                        extra_latency_s=wan_latency_s,
+                    )
+                    upload_time = self.env.now - t2
+                except StorageUnavailable:
+                    # Retry budget exhausted mid-attempt: abandon it.
+                    # The undeleted message reappears after the
+                    # visibility timeout and another worker re-executes
+                    # the task — the recovery path the paper relies on.
+                    self._sample_busy(-1)
+                    busy = False
+                    wait_start = self.env.now
+                    continue
 
                 # Delete the message; a stale receipt means the task was
                 # re-delivered meanwhile — our (identical) result stands.
@@ -646,6 +857,23 @@ class _SimRun:
                     was_duplicate = True
                 yield from self.monitor_queue.send(task.task_id)
 
+                # First finisher wins; a backup copy (or the original it
+                # raced) landing second is redundant work, same as a
+                # redelivered duplicate.
+                finished_before = task.task_id in self._finished_ids
+                self._finished_ids.add(task.task_id)
+                won = not was_duplicate and not finished_before
+                if (
+                    not finished_before
+                    and msg.receive_count > 1
+                    and msg.first_received_at is not None
+                ):
+                    # Completed on a redelivery: the visibility-timeout
+                    # recovery path repaired lost work — record how long
+                    # it took (MTTR numerator).
+                    self._recoveries.append(
+                        self.env.now - msg.first_received_at
+                    )
                 self.records.append(
                     TaskRecord(
                         task_id=task.task_id,
@@ -657,7 +885,8 @@ class _SimRun:
                         upload_time=upload_time,
                         attempt=msg.receive_count,
                         was_duplicate=was_duplicate,
-                        won=not was_duplicate,
+                        speculative=speculative,
+                        won=won,
                     )
                 )
                 # Spans mirror the record exactly (same env.now readings,
@@ -682,6 +911,13 @@ class _SimRun:
                         start=t2, end=t2 + upload_time, task_id=tid,
                     )
                 self._sample_busy(-1)
+                busy = False
                 wait_start = self.env.now
         except Interrupt:
-            return  # crashed: in-flight message reappears after timeout
+            # Crashed (poison / preemption / chaos): the in-flight
+            # message reappears after the visibility timeout.  Emit the
+            # busy end-sentinel the completion path would have emitted
+            # so the sampled gauge doesn't stay inflated forever.
+            if busy:
+                self._sample_busy(-1)
+            return

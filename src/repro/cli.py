@@ -316,6 +316,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gendata_parser.add_argument("--seed", type=int, default=0)
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection campaign: sweep fault "
+        "intensity x mitigation and print the resilience report",
+    )
+    chaos_parser.add_argument(
+        "--app", choices=("cap3", "blast", "gtm"), default="cap3"
+    )
+    chaos_parser.add_argument("--files", type=int, default=48)
+    chaos_parser.add_argument("--instances", type=int, default=2)
+    chaos_parser.add_argument(
+        "--workers", type=int, default=8, help="workers per instance"
+    )
+    chaos_parser.add_argument("--seed", type=int, default=13)
+    chaos_parser.add_argument(
+        "--intensities", default="0,0.5,1", metavar="X[,X...]",
+        help="comma-separated fault intensities (0 = fault-free)",
+    )
+    chaos_parser.add_argument(
+        "--mitigations", default=None, metavar="M[,M...]",
+        help="comma-separated subset of none,retry,speculation,"
+        "retry+speculation (default: all four)",
+    )
+    chaos_parser.add_argument(
+        "--horizon", type=float, default=240.0,
+        help="seconds of the measured window faults are scheduled into",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="campaign cells run in parallel (default: REPRO_JOBS or "
+        "cpu count)",
+    )
+    chaos_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the result cache under .repro-cache/",
+    )
+    chaos_parser.add_argument(
+        "--smoke", action="store_true",
+        help="1-seed PR smoke: a tiny grid (fault-free baseline plus "
+        "one defended high-intensity cell), seconds of wall time",
+    )
+    chaos_parser.add_argument(
+        "--json", metavar="OUT.json", default=None,
+        help="also write the resilience rows as canonical JSON",
+    )
+    chaos_parser.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="also play one traced run at the highest requested "
+        "intensity (retry+speculation) and export its Chrome trace "
+        "with the chaos-track instants",
+    )
+
     docs_parser = sub.add_parser(
         "docs", help="check documentation: links resolve, code blocks run"
     )
@@ -981,6 +1033,119 @@ def _cmd_gendata(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    if _resolved_jobs_or_none(args, out) is None:
+        return 2
+    from repro.chaos import (
+        CAMPAIGN_MITIGATIONS,
+        chaos_study,
+        render_resilience,
+        serialize_rows,
+    )
+
+    try:
+        intensities = tuple(
+            float(piece)
+            for piece in args.intensities.split(",")
+            if piece.strip()
+        )
+    except ValueError:
+        print(
+            f"error: --intensities must be numbers, got "
+            f"{args.intensities!r}",
+            file=out,
+        )
+        return 2
+    mitigations = CAMPAIGN_MITIGATIONS
+    if args.mitigations is not None:
+        mitigations = tuple(
+            piece.strip()
+            for piece in args.mitigations.split(",")
+            if piece.strip()
+        )
+        unknown = [m for m in mitigations if m not in CAMPAIGN_MITIGATIONS]
+        if unknown or not mitigations:
+            print(
+                f"error: unknown mitigation(s) {unknown}; "
+                f"choose from {list(CAMPAIGN_MITIGATIONS)}",
+                file=out,
+            )
+            return 2
+    n_files = args.files
+    horizon = args.horizon
+    if args.smoke:
+        # The PR gate: one seed, the fault-free baseline plus a single
+        # defended high-intensity cell — seconds, not minutes.  The
+        # shrunk horizon keeps the fault schedule inside the shorter
+        # smoke run.
+        n_files = min(n_files, 16)
+        intensities = (0.0, 1.0)
+        mitigations = ("none", "retry+speculation")
+        horizon = min(horizon, 90.0)
+    cache = None
+    if not args.no_cache:
+        from repro.sweep import default_cache
+
+        cache = default_cache()
+    rows = chaos_study(
+        apps=(args.app,),
+        intensities=intensities,
+        mitigations=mitigations,
+        n_files=n_files,
+        n_instances=args.instances,
+        workers_per_instance=args.workers,
+        seed=args.seed,
+        horizon_s=horizon,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    print(render_resilience(rows), file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(serialize_rows(rows) + "\n")
+        print(f"resilience rows written to {args.json}", file=out)
+    if args.trace:
+        from repro.chaos import ChaosPlan, mitigation_settings
+        from repro.core.application import get_application
+        from repro.core.backends import make_backend
+        from repro.obs import (
+            Observability,
+            observe,
+            summarize_chrome_trace,
+            write_chrome_trace,
+        )
+
+        intensity = max(intensities) if intensities else 1.0
+        retry, speculation = mitigation_settings("retry+speculation")
+        backend = make_backend(
+            "ec2",
+            n_instances=args.instances,
+            workers_per_instance=args.workers,
+            seed=args.seed,
+            chaos=ChaosPlan.at_intensity(
+                intensity, seed=args.seed, horizon_s=horizon
+            ),
+            retry_policy=retry,
+            speculation=speculation,
+        )
+        obs = Observability.make(label=f"chaos-{args.app}")
+        with observe(obs):
+            backend.run(
+                get_application(args.app),
+                _tasks_for(args.app, n_files, False, args.seed),
+            )
+        document = write_chrome_trace(args.trace, obs)
+        print(file=out)
+        print(summarize_chrome_trace(document), file=out)
+        print(
+            f"trace written to {args.trace} "
+            f"({len(document['traceEvents'])} events; open in "
+            "chrome://tracing or ui.perfetto.dev)",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_docs(args, out) -> int:
     from repro.lint.docscheck import check_docs
 
@@ -1019,6 +1184,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "gendata":
         return _cmd_gendata(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "docs":
         return _cmd_docs(args, out)
     if args.command == "lint":

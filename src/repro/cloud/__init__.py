@@ -44,7 +44,12 @@ from repro.cloud.instance_types import (
 from repro.cloud.pricing import AWS_PRICES, AZURE_PRICES, PriceBook
 from repro.cloud.queue import Message, MessageQueue, QueueStats
 from repro.cloud.spot import BidStrategy, SpotMarketModel, SpotPriceTrace
-from repro.cloud.storage import BlobNotFound, BlobObject, BlobStore
+from repro.cloud.storage import (
+    BlobNotFound,
+    BlobObject,
+    BlobStore,
+    StorageUnavailable,
+)
 
 __all__ = [
     "AWS_PRICES",
@@ -74,6 +79,7 @@ __all__ = [
     "QueueStats",
     "SpotMarketModel",
     "SpotPriceTrace",
+    "StorageUnavailable",
     "VmInstance",
     "get_instance_type",
 ]

@@ -63,6 +63,7 @@ class QueueStats:
     reappearances: int = 0
     duplicate_deliveries: int = 0
     stale_deletes: int = 0
+    lost_deletes: int = 0  # delete requests dropped by chaos injection
     dead_lettered: int = 0
     requests: int = 0  # every priced API request (send/receive/delete/...)
 
@@ -82,6 +83,7 @@ class MessageQueue:
         propagation_delay_s: float = 0.050,
         miss_probability: float = 0.02,
         duplicate_probability: float = 0.0,
+        delete_loss_probability: float = 0.0,
         max_receive_count: int | None = None,
         dead_letter_queue: "MessageQueue | None" = None,
     ):
@@ -93,6 +95,11 @@ class MessageQueue:
         empty despite visible messages (eventual-consistency artefact).
         ``duplicate_probability`` is the chance a received message is *also*
         left visible (at-least-once duplication artefact).
+        ``delete_loss_probability`` is the chance a delete request is
+        silently dropped server-side: the client believes the message is
+        gone, but it stays in flight and reappears after the visibility
+        timeout — a benign duplicate, the way real SQS loses deletes.
+        :mod:`repro.chaos` raises it during queue-chaos windows.
 
         ``max_receive_count`` with ``dead_letter_queue`` configures an
         SQS-style redrive policy: a message received more than
@@ -115,6 +122,7 @@ class MessageQueue:
         self.propagation_delay_s = propagation_delay_s
         self.miss_probability = miss_probability
         self.duplicate_probability = duplicate_probability
+        self.delete_loss_probability = delete_loss_probability
         self.max_receive_count = max_receive_count
         self.dead_letter_queue = dead_letter_queue
         self.stats = QueueStats()
@@ -332,6 +340,15 @@ class MessageQueue:
         """
         self._meter_request()
         yield self.env.timeout(self._latency())
+        # Chaos: the request is metered and paid for, but the server
+        # never processes it — the message stays in flight and will
+        # reappear after the visibility timeout (benign duplicate).
+        if (
+            self.delete_loss_probability
+            and self.rng.random() < self.delete_loss_probability
+        ):
+            self.stats.lost_deletes += 1
+            return
         current = self._inflight.get(message.message_id)
         if current is not None and current != message.receipt:
             self.stats.stale_deletes += 1

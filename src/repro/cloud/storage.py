@@ -24,11 +24,18 @@ import numpy as np
 from repro.cloud.billing import CostMeter
 from repro.sim.engine import Environment
 
-__all__ = ["BlobNotFound", "BlobObject", "BlobStore"]
+__all__ = ["BlobNotFound", "BlobObject", "BlobStore", "StorageUnavailable"]
 
 
 class BlobNotFound(KeyError):
     """Raised when a GET references a key that is not (yet) visible."""
+
+
+class StorageUnavailable(RuntimeError):
+    """A request kept failing with retryable 5xx errors until the
+    client's retry budget ran out.  Only raised when the store was
+    built with a :class:`~repro.chaos.retry.RetryPolicy`; without one
+    the client retries forever (the historical behaviour)."""
 
 
 @dataclass
@@ -81,6 +88,7 @@ class BlobStore:
         bandwidth_mbps: float = 50.0,
         consistency_window_s: float = 0.0,
         error_rate: float = 0.0,
+        retry_policy=None,
     ):
         """Create a store.
 
@@ -92,6 +100,12 @@ class BlobStore:
         ``error_rate`` is the probability that a request fails with a
         retryable error (the operation retries internally, costing time
         and an extra metered request).
+        ``retry_policy`` (a :class:`~repro.chaos.retry.RetryPolicy`)
+        bounds those internal retries: delays follow the policy's
+        backoff-with-jitter schedule and, once the attempt budget is
+        spent, the operation raises :class:`StorageUnavailable` instead
+        of retrying forever.  ``None`` keeps the historical
+        retry-forever behaviour, byte-identical in timing.
         """
         self.env = env
         self.name = name
@@ -102,6 +116,7 @@ class BlobStore:
         self.bandwidth_bps = bandwidth_mbps * 1e6
         self.consistency_window_s = consistency_window_s
         self.error_rate = error_rate
+        self.retry_policy = retry_policy
         self.stats = TransferStats()
         self._objects: dict[str, _Entry] = {}
 
@@ -114,14 +129,33 @@ class BlobStore:
         )
 
     def _request(self, extra_latency_s: float = 0.0) -> Generator:
-        """One HTTP round-trip, with retry-on-error."""
+        """One HTTP round-trip, with retry-on-error.
+
+        Without a retry policy a 5xx backs off for twice the request
+        latency and retries forever; with one, delays follow the
+        policy and the budget is hard — exhaustion raises
+        :class:`StorageUnavailable`.
+        """
+        policy = self.retry_policy
+        attempt = 0
         while True:
             if self.meter is not None:
                 self.meter.record_storage_request()
             yield self.env.timeout(self._latency(extra_latency_s))
             if self.error_rate and self.rng.random() < self.error_rate:
-                # Retryable 5xx: back off briefly and retry.
-                yield self.env.timeout(self._latency(extra_latency_s) * 2.0)
+                attempt += 1
+                if policy is None:
+                    # Retryable 5xx: back off briefly and retry.
+                    yield self.env.timeout(
+                        self._latency(extra_latency_s) * 2.0
+                    )
+                    continue
+                if attempt >= policy.attempts:
+                    raise StorageUnavailable(
+                        f"{self.name}: request failed {attempt} times; "
+                        "retry budget exhausted"
+                    )
+                yield self.env.timeout(policy.backoff_s(attempt, self.rng))
                 continue
             return
 

@@ -288,8 +288,22 @@ def fig_serve() -> str:
     return render_frontier(rows)
 
 
+def fig_chaos() -> str:
+    """The chaos extension's resilience surface (new study).
+
+    Not a figure from the paper — the :mod:`repro.chaos` campaign:
+    makespan inflation, MTTR, redundant-work fraction and goodput
+    across fault intensity and mitigation settings.
+    """
+    from repro.chaos import chaos_study, render_resilience
+
+    rows = chaos_study(n_files=48, jobs=None, cache=default_cache())
+    return render_resilience(rows)
+
+
 FIGURES: dict[str, Callable[[], str]] = {
     "autoscale": fig_autoscale,
+    "chaos": fig_chaos,
     "serve": fig_serve,
     "fig3_4": fig3_4,
     "fig5_6": fig5_6,

@@ -1,4 +1,4 @@
-"""Whole-program rules RPR101–RPR105.
+"""Whole-program rules RPR101–RPR106.
 
 Each rule receives the :class:`~repro.lint.project.ProjectModel` built
 from every linted file and reasons across call boundaries.  Violations
@@ -7,7 +7,7 @@ acquisition, the impure call) and, where a call chain is the evidence,
 the message spells the chain out so the finding is actionable without
 re-running the analysis.
 
-Approximation stance (shared by all five rules): only *resolved* call
+Approximation stance (shared by all six rules): only *resolved* call
 edges exist, so a chain through ``getattr`` or duck-typed dispatch is
 invisible — these rules under-report rather than guess.  The runtime
 :class:`~repro.lint.threadsan.ThreadSanitizer` covers the dynamic side
@@ -25,6 +25,7 @@ from repro.lint.rules import ProjectRule, Violation, register
 __all__ = [
     "LockOrderRule",
     "PoolCaptureRule",
+    "RetryBackoffRule",
     "SharedStateRule",
     "SimPurityRule",
     "SpanLeakRule",
@@ -426,3 +427,120 @@ class SpanLeakRule(ProjectRule):
                     ):
                         closed.add(func.value.id)
         return closed
+
+
+@register
+class RetryBackoffRule(ProjectRule):
+    code = "RPR106"
+    name = "retry-without-backoff"
+    rationale = (
+        "A bare while-True try/except around a queue or storage call "
+        "with neither backoff nor an attempt budget hammers the "
+        "service in a hot loop: every transient error becomes a retry "
+        "storm.  Wrap the call in a RetryPolicy (exponential backoff, "
+        "budget-capped) or sleep between attempts."
+    )
+
+    #: Client methods whose immediate unbounded retry we flag.
+    _CLIENT_METHODS = frozenset(
+        ("receive", "send", "send_batch", "delete", "get", "put", "head",
+         "list_keys")
+    )
+    #: Receiver terminal-name fragments that identify a remote client.
+    _CLIENT_NAMES = ("queue", "storage", "store", "blob", "bucket", "client")
+    #: Calls that pace a retry loop (simulated or real sleeps, or a
+    #: policy-computed delay).
+    _BACKOFF_NAMES = frozenset(("timeout", "sleep", "backoff_s"))
+
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
+        for fn in project.iter_functions():
+            yield from self._check_function(fn)
+
+    def _check_function(self, fn: FunctionInfo) -> Iterator[Violation]:
+        for loop in ast.walk(fn.node):
+            if not isinstance(loop, ast.While):
+                continue
+            test = loop.test
+            if not (isinstance(test, ast.Constant) and test.value is True):
+                continue
+            if self._has_backoff(loop):
+                continue
+            for handler_try in ast.walk(loop):
+                if not isinstance(handler_try, ast.Try):
+                    continue
+                if self._handlers_escape(handler_try):
+                    continue
+                call = self._client_call(handler_try)
+                if call is None:
+                    continue
+                yield self.project_violation(
+                    fn.path,
+                    call,
+                    f"unbounded immediate retry of "
+                    f"{self._describe(call)} in {fn.qualname}: while-True "
+                    f"retry loop with no backoff and no attempt budget",
+                )
+
+    def _client_call(self, handler_try: ast.Try) -> ast.Call | None:
+        """The first queue/storage client call in the try body."""
+        for stmt in handler_try.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in self._CLIENT_METHODS
+                ):
+                    continue
+                value = func.value
+                terminal = (
+                    value.id
+                    if isinstance(value, ast.Name)
+                    else value.attr
+                    if isinstance(value, ast.Attribute)
+                    else None
+                )
+                if terminal is not None and any(
+                    fragment in terminal.lower()
+                    for fragment in self._CLIENT_NAMES
+                ):
+                    return node
+        return None
+
+    def _has_backoff(self, loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else None
+            )
+            if name in self._BACKOFF_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _handlers_escape(handler_try: ast.Try) -> bool:
+        """True when some handler raises, returns or breaks — i.e. the
+        loop has *an* attempt budget, however it is implemented."""
+        for handler in handler_try.handlers:
+            for stmt in handler.body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.Raise, ast.Return, ast.Break)):
+                        return True
+        return False
+
+    @staticmethod
+    def _describe(call: ast.Call) -> str:
+        func = call.func
+        value = func.value
+        terminal = (
+            value.id
+            if isinstance(value, ast.Name)
+            else value.attr if isinstance(value, ast.Attribute) else "?"
+        )
+        return f"{terminal}.{func.attr}()"
+

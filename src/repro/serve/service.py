@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.perfmodels import task_runtime_seconds
 from repro.autoscale.controller import AutoscaleController
+from repro.chaos.retry import RetryPolicy, run_with_retry
 from repro.autoscale.plan import AutoscalePlan
 from repro.cloud.billing import CostMeter
 from repro.cloud.compute import CloudProvider
@@ -52,6 +53,10 @@ __all__ = [
     "TenantStats",
     "run_serve",
 ]
+
+#: Download-through-404 stance: fixed 0.5 s polls for up to two minutes,
+#: timing-identical to the historical inline loop (241 attempts).
+_DOWNLOAD_RETRY = RetryPolicy.fixed(attempts=241, delay_s=0.5)
 
 
 @dataclass(frozen=True)
@@ -597,6 +602,7 @@ class JobService:
         jitter_rng = self.rng.stream(f"{name}-jitter")
         tracer = self.tracer
         wait_start = self.env.now
+        busy = False
         try:
             while not self._stopping:
                 if host.draining or not host.is_running:
@@ -609,20 +615,22 @@ class JobService:
                 meta = self._jobs[task.task_id]
                 started = self.env.now
                 self._sample_busy(+1)
+                busy = True
 
                 # Download through eventual-consistency 404s (bounded).
                 t0 = self.env.now
-                for attempt_left in range(240, -1, -1):
-                    try:
-                        yield from self.storage.get(task.input_key)
-                        break
-                    except BlobNotFound:
-                        if attempt_left == 0:
-                            raise RuntimeError(
-                                f"input {task.input_key!r} never became "
-                                "visible in storage"
-                            ) from None
-                        yield self.env.timeout(0.5)
+                try:
+                    yield from run_with_retry(
+                        self.env,
+                        _DOWNLOAD_RETRY,
+                        lambda: self.storage.get(task.input_key),
+                        retryable=(BlobNotFound,),
+                    )
+                except BlobNotFound:
+                    raise RuntimeError(
+                        f"input {task.input_key!r} never became "
+                        "visible in storage"
+                    ) from None
                 download_time = self.env.now - t0
 
                 service = task_runtime_seconds(
@@ -684,9 +692,15 @@ class JobService:
                         start=t2, end=t2 + upload_time, task_id=tid,
                     )
                 self._sample_busy(-1)
+                busy = False
                 wait_start = self.env.now
         except Interrupt:
-            return  # preempted/crashed: the message reappears and retries
+            # Preempted/crashed: the message reappears and retries.  If
+            # the interrupt landed mid-task, close the busy gauge so the
+            # +1 sampled at pick-up is paired with a -1.
+            if busy:
+                self._sample_busy(-1)
+            return
 
     def _record_completion(
         self, meta, task, worker, started, receive_count, was_duplicate

@@ -1,0 +1,30 @@
+"""RPR106 clean: retries are paced by backoff or bounded by a budget."""
+
+import time
+
+
+def drain_with_backoff(task_queue):
+    delay = 0.1
+    while True:
+        try:
+            return task_queue.receive()
+        except ConnectionError:
+            time.sleep(delay)  # paced: backoff between attempts
+            delay *= 2.0
+
+
+def drain_with_budget(task_queue):
+    while True:
+        try:
+            return task_queue.receive()
+        except ConnectionError:
+            raise RuntimeError("queue unreachable") from None
+
+
+def local_state_loop(counter):
+    # Not a client: bare retry around plain attribute calls is fine.
+    while True:
+        try:
+            return counter.get()
+        except KeyError:
+            continue

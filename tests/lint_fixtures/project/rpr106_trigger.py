@@ -1,0 +1,12 @@
+"""RPR106 trigger: hot-loop retry of a queue call, no backoff/budget."""
+
+
+def drain(task_queue):
+    while True:
+        try:
+            msg = task_queue.receive()
+        except ConnectionError:
+            continue  # immediate retry: hammers the service
+        if msg is None:
+            return None
+        return msg

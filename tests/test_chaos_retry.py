@@ -1,0 +1,144 @@
+"""Tests for the budget-capped backoff policy (repro.chaos.retry)."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import RetryPolicy, run_with_retry
+from repro.sim import Environment
+
+
+def drive(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestBackoffMath:
+    def test_no_jitter_sequence_is_exponential(self):
+        policy = RetryPolicy(
+            attempts=6, base_delay_s=0.5, max_delay_s=30.0,
+            multiplier=2.0, jitter="none",
+        )
+        delays = [policy.backoff_s(n) for n in range(1, 6)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0]
+
+    def test_cap_clamps_at_max_delay(self):
+        policy = RetryPolicy(
+            attempts=20, base_delay_s=1.0, max_delay_s=8.0, jitter="none"
+        )
+        assert policy.backoff_s(4) == 8.0
+        assert policy.backoff_s(19) == 8.0
+
+    def test_full_jitter_bounds_under_pinned_seed(self):
+        policy = RetryPolicy(attempts=8, base_delay_s=0.5, max_delay_s=30.0)
+        rng = np.random.default_rng(42)
+        for attempt in range(1, 8):
+            delay = policy.backoff_s(attempt, rng)
+            assert 0.0 <= delay <= policy.cap_s(attempt)
+
+    def test_full_jitter_is_deterministic_given_seed(self):
+        policy = RetryPolicy(attempts=8)
+        a = [policy.backoff_s(n, np.random.default_rng(7)) for n in (1, 2, 3)]
+        b = [policy.backoff_s(n, np.random.default_rng(7)) for n in (1, 2, 3)]
+        assert a == b
+
+    def test_full_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            RetryPolicy().backoff_s(1)
+
+    def test_no_jitter_consumes_no_draws(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        RetryPolicy(jitter="none").backoff_s(2, rng)
+        assert rng.bit_generator.state == before
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().cap_s(0)
+
+    def test_fixed_policy_is_constant_interval(self):
+        policy = RetryPolicy.fixed(attempts=241, delay_s=0.5)
+        assert policy.attempts == 241
+        assert policy.jitter == "none"
+        assert [policy.backoff_s(n) for n in (1, 10, 240)] == [0.5, 0.5, 0.5]
+
+
+class TestValidation:
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter="half")
+
+
+class _Flaky:
+    """A DES request that fails ``n_failures`` times, then succeeds."""
+
+    def __init__(self, env, n_failures, error=ConnectionError):
+        self.env = env
+        self.n_failures = n_failures
+        self.error = error
+        self.calls = 0
+
+    def request(self):
+        self.calls += 1
+        yield self.env.timeout(1.0)
+        if self.calls <= self.n_failures:
+            raise self.error(f"attempt {self.calls} failed")
+        return "payload"
+
+
+class TestRunWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        env = Environment()
+        flaky = _Flaky(env, n_failures=2)
+        policy = RetryPolicy(attempts=5, jitter="none", base_delay_s=0.5)
+        result = drive(
+            env, run_with_retry(env, policy, flaky.request)
+        )
+        assert result == "payload"
+        assert flaky.calls == 3
+        # 3 attempts of 1 s plus backoffs of 0.5 and 1.0 s.
+        assert env.now == pytest.approx(4.5)
+
+    def test_budget_exhaustion_reraises_original_error(self):
+        env = Environment()
+        flaky = _Flaky(env, n_failures=99)
+        policy = RetryPolicy(attempts=3, jitter="none", base_delay_s=0.5)
+        with pytest.raises(ConnectionError, match="attempt 3 failed"):
+            drive(env, run_with_retry(env, policy, flaky.request))
+        assert flaky.calls == 3  # budget includes the first try
+        # No backoff after the final failure: 3 s work + 0.5 + 1.0 sleep.
+        assert env.now == pytest.approx(4.5)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        env = Environment()
+        flaky = _Flaky(env, n_failures=99, error=KeyError)
+        policy = RetryPolicy(attempts=5, jitter="none")
+        with pytest.raises(KeyError):
+            drive(
+                env,
+                run_with_retry(
+                    env, policy, flaky.request, retryable=(ConnectionError,)
+                ),
+            )
+        assert flaky.calls == 1
+
+    def test_full_jitter_delays_come_from_caller_rng(self):
+        def play(seed):
+            env = Environment()
+            flaky = _Flaky(env, n_failures=3)
+            policy = RetryPolicy(attempts=5, base_delay_s=0.5)
+            drive(
+                env,
+                run_with_retry(
+                    env, policy, flaky.request,
+                    rng=np.random.default_rng(seed),
+                ),
+            )
+            return env.now
+
+        assert play(1) == play(1)
+        assert play(1) != play(2)

@@ -1,0 +1,123 @@
+"""End-to-end chaos injection against the simulated Classic Cloud."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, RetryPolicy, SpeculationPolicy
+from repro.classiccloud import ClassicCloudConfig, ClassicCloudFramework
+from repro.cloud.failures import FaultPlan, WorkerCrash
+from repro.core.application import get_application
+from repro.obs import Observability, observe
+from repro.workloads.genome import cap3_task_specs
+
+
+def chaos_config(**kwargs):
+    defaults = dict(
+        provider="aws",
+        instance_type="HCXL",
+        n_instances=2,
+        workers_per_instance=8,
+        seed=13,
+        fault_plan=FaultPlan.none(),
+        consistency_window_s=0.0,
+    )
+    defaults.update(kwargs)
+    return ClassicCloudConfig(**defaults)
+
+
+@pytest.fixture
+def cap3():
+    return get_application("cap3")
+
+
+def run(config, n_files=24):
+    tasks = cap3_task_specs(n_files, reads_per_file=200)
+    result = ClassicCloudFramework(config).run(
+        get_application("cap3"), tasks
+    )
+    return tasks, result
+
+
+class TestInjection:
+    def test_chaos_run_completes_every_task(self, cap3):
+        plan = ChaosPlan.at_intensity(1.0, seed=5, horizon_s=100.0)
+        tasks, result = run(chaos_config(chaos=plan))
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+        assert result.extras["chaos_faults_injected"] > 0
+
+    def test_chaos_inflates_makespan(self, cap3):
+        _, quiet = run(chaos_config())
+        plan = ChaosPlan.at_intensity(1.0, seed=5, horizon_s=100.0)
+        _, noisy = run(chaos_config(chaos=plan))
+        assert noisy.makespan_seconds > quiet.makespan_seconds
+
+    def test_chaos_run_is_deterministic(self, cap3):
+        plan = ChaosPlan.at_intensity(1.0, seed=5, horizon_s=100.0)
+        _, a = run(chaos_config(chaos=plan))
+        _, b = run(chaos_config(chaos=plan))
+        assert a.makespan_seconds == b.makespan_seconds  # repro: noqa[RPR005] exact: determinism contract
+        assert a.extras == b.extras
+
+    def test_legacy_extras_unchanged_without_chaos(self, cap3):
+        _, result = run(chaos_config())
+        assert not any(
+            key.startswith("chaos_") or key.startswith("speculative")
+            for key in result.extras
+        )
+        assert "redundant_fraction" not in result.extras
+
+
+class TestSpeculation:
+    def test_backups_never_double_count(self, cap3):
+        config = chaos_config(
+            fault_plan=FaultPlan(
+                straggler_probability=0.3, straggler_slowdown=8.0
+            ),
+            speculation=SpeculationPolicy(
+                poll_s=10.0, min_completed=3, threshold_multiplier=1.5
+            ),
+        )
+        tasks, result = run(config)
+        extras = result.extras
+        # Every admitted task completes exactly once, however many
+        # backup copies ran: completed == admitted, never more.
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+        assert extras["tasks_completed"] == len(tasks)
+        assert extras["speculative_wins"] <= extras["speculative_launched"]
+        # One kept result per task: exactly len(tasks) distinct ids in
+        # the record stream, and no task is counted completed twice.
+        assert len({r.task_id for r in result.records}) == len(tasks)
+        assert len(result.completed) == len(tasks)
+
+    def test_retry_mitigation_preserves_completion(self, cap3):
+        plan = ChaosPlan.at_intensity(1.0, seed=5, horizon_s=100.0)
+        config = chaos_config(
+            chaos=plan,
+            retry_policy=RetryPolicy(
+                attempts=6, base_delay_s=0.5, max_delay_s=15.0
+            ),
+        )
+        tasks, result = run(config)
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+
+
+class TestBusyGauge:
+    def test_mid_task_crash_closes_the_busy_gauge(self, cap3):
+        """Regression: a worker interrupted mid-task must emit the
+        paired ``-1`` busy sample; historically the end sentinel was
+        skipped and the gauge read one busy worker forever."""
+        config = chaos_config(
+            fault_plan=FaultPlan(
+                worker_crashes=[
+                    WorkerCrash(worker_index=0, at_time=5.0),
+                    WorkerCrash(worker_index=3, at_time=9.0),
+                ]
+            )
+        )
+        tasks = cap3_task_specs(24, reads_per_file=200)
+        with observe(Observability.make(label="busy-gauge")) as obs:
+            result = ClassicCloudFramework(config).run(cap3, tasks)
+        assert result.completed_task_ids == {t.task_id for t in tasks}
+        series = obs.timeline.series("workers.busy")
+        assert series, "busy gauge never sampled"
+        assert series[-1][1] == 0
+        assert min(value for _, value in series) >= 0

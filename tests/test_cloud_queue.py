@@ -388,3 +388,38 @@ def test_sanitizer_leak_detection_on_abandoned_inflight_message():
     leaks = env.sanitizer_report().queue_leaks
     assert len(leaks) == 1
     assert f"message {abandoned.message_id} " in leaks[0]
+
+
+def test_lost_delete_leaves_message_in_flight():
+    """A dropped delete (delete_loss_probability=1) is metered and the
+    message reappears after the visibility timeout — a benign duplicate,
+    exactly how chaos windows model SQS losing deletes."""
+    env = Environment()
+    q = make_queue(env, visibility_timeout_s=5.0, delete_loss_probability=1.0)
+    drive(env, q.send("a"))
+    msg = drive(env, q.receive())
+    drive(env, q.delete(msg))
+    assert q.stats.lost_deletes == 1
+    assert q.approximate_size() == 1  # still in flight, not deleted
+    env.run(until=env.now + 10.0)
+    again = drive(env, q.receive())
+    assert again.body == "a"
+    assert again.receive_count == 2
+
+
+def test_delete_loss_defaults_off():
+    """Two identically-seeded queues — one built before the feature
+    existed (no kwarg), one with it explicitly off — delete through the
+    same RNG states: the disabled guard consumes no draws, so seeded
+    legacy runs stay byte-identical with the feature compiled in."""
+    def play(**kwargs):
+        env = Environment()
+        q = make_queue(env, latency_sigma=0.35, **kwargs)
+        drive(env, q.send("a"))
+        msg = drive(env, q.receive())
+        drive(env, q.delete(msg))
+        assert q.stats.lost_deletes == 0
+        assert q.approximate_size() == 0
+        return env.now, q.rng.bit_generator.state
+
+    assert play() == play(delete_loss_probability=0.0)

@@ -8,6 +8,7 @@ from repro.figures import available_figures, render_figure
 def test_available_figures_lists_all():
     assert available_figures() == [
         "autoscale",
+        "chaos",
         "fig10_11",
         "fig12_13",
         "fig14_15",

@@ -1,4 +1,4 @@
-"""Tests for the whole-program lint pass (RPR101–RPR105) and the v2
+"""Tests for the whole-program lint pass (RPR101–RPR106) and the v2
 CLI surface: ``--rules``, ``--baseline``, ``--exclude``, JSON schema."""
 
 import io
@@ -14,7 +14,9 @@ from repro.lint.checker import collect_files, parse_file
 FIXTURES = Path(__file__).parent / "lint_fixtures" / "project"
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-PROJECT_CODES = ("RPR101", "RPR102", "RPR103", "RPR104", "RPR105")
+PROJECT_CODES = (
+    "RPR101", "RPR102", "RPR103", "RPR104", "RPR105", "RPR106",
+)
 
 
 def run_cli(*argv):
